@@ -1,0 +1,70 @@
+// Command perpos-bench regenerates the experiment tables of
+// EXPERIMENTS.md: every paper evaluation artifact (DESIGN.md §4,
+// experiments E1–E8) is re-run on the simulated substrates and printed
+// as an aligned table.
+//
+// Usage:
+//
+//	perpos-bench            # run all experiments
+//	perpos-bench -e E5      # one experiment
+//	perpos-bench -e E5 -series
+//	perpos-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"perpos/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "perpos-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("perpos-bench", flag.ContinueOnError)
+	exp := fs.String("e", "", "experiment ID to run (default: all)")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	series := fs.Bool("series", false, "emit plot series where supported (E5)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range eval.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	experiments := eval.Experiments()
+	if *series {
+		experiments["E5"] = func() (eval.Result, error) {
+			return eval.RunE5(eval.E5Config{Series: true})
+		}
+	}
+
+	ids := eval.IDs()
+	if *exp != "" {
+		id := strings.ToUpper(*exp)
+		if _, ok := experiments[id]; !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		ids = []string{id}
+	}
+
+	for _, id := range ids {
+		result, err := experiments[id]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(result.Table())
+	}
+	return nil
+}

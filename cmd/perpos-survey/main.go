@@ -1,0 +1,96 @@
+// Command perpos-survey runs the offline WiFi fingerprint survey over
+// the evaluation building's deployment and writes the radio map to a
+// JSONL file — the artifact a deployment operator would produce once
+// and ship to every positioning engine.
+//
+// Usage:
+//
+//	perpos-survey -o radiomap.jsonl
+//	perpos-survey -o radiomap.jsonl -grid 1.5 -scans 8
+//	perpos-survey -check radiomap.jsonl   # validate a saved map
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"perpos/internal/building"
+	"perpos/internal/geo"
+	"perpos/internal/wifi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "perpos-survey:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("perpos-survey", flag.ContinueOnError)
+	out := fs.String("o", "radiomap.jsonl", "output file")
+	grid := fs.Float64("grid", 2, "survey grid step in metres")
+	scans := fs.Int("scans", 4, "scans averaged per cell")
+	seed := fs.Int64("seed", 1, "fading seed")
+	check := fs.String("check", "", "validate an existing radio map instead of surveying")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	b := building.Evaluation()
+	network := wifi.DefaultDeployment(b)
+
+	if *check != "" {
+		return validate(*check, network)
+	}
+
+	db := wifi.Survey(network, 0, wifi.SurveyConfig{
+		GridStep:     *grid,
+		ScansPerCell: *scans,
+		Seed:         *seed,
+	})
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := wifi.WriteDatabase(f, db); err != nil {
+		return err
+	}
+	fmt.Printf("surveyed %d cells (grid %.1f m, %d scans/cell) -> %s\n",
+		db.Len(), *grid, *scans, *out)
+	return nil
+}
+
+// validate loads a radio map and probes it at a few known positions.
+func validate(path string, network *wifi.Network) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db, err := wifi.ReadDatabase(f)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano() % 1000))
+	probes := []geo.ENU{
+		{East: 10, North: 6},
+		{East: 20, North: 10},
+		{East: 28, North: 2},
+	}
+	fmt.Printf("radio map: %d cells\n", db.Len())
+	for _, p := range probes {
+		scan := network.ScanAt(p, 0, time.Now(), rng)
+		est, err := db.Locate(scan, 3)
+		if err != nil {
+			return fmt.Errorf("locate at %v: %w", p, err)
+		}
+		fmt.Printf("probe %v -> %v (room %s, err %.1f m)\n",
+			p, est.Pos, est.RoomID, est.Pos.Distance(p))
+	}
+	return nil
+}

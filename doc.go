@@ -1,0 +1,22 @@
+// Package perpos is a Go reproduction of the PerPos translucent
+// positioning middleware (Langdal, Schougaard, Kjærgaard, Toftkjær —
+// ACM/IFIP/USENIX Middleware 2010).
+//
+// PerPos serves technology-independent positions like a traditional
+// positioning middleware, and additionally reifies the internal
+// positioning process — the graph of Processing Components between
+// sensors and the application — so developers can inspect and adapt it
+// without access to middleware source. See README.md for the layer
+// model and internal/... for the implementation:
+//
+//   - internal/core — Process Structure Layer (components, features,
+//     graph, engines)
+//   - internal/channel — Process Channel Layer (channels, data trees,
+//     channel features)
+//   - internal/positioning — Positioning Layer (providers, criteria,
+//     notifications, targets)
+//   - internal/{gps,wifi,building,nmea,geo,trace} — simulated substrates
+//   - internal/{filter,energy} — the paper's case studies (§3.1–3.3)
+//   - internal/registry, internal/remote — OSGi / D-OSGi analogues
+//   - internal/eval — the experiment harness behind EXPERIMENTS.md
+package perpos

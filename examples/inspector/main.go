@@ -1,0 +1,126 @@
+// Inspector: seamful design for developers (§4). The program walks a
+// live pipeline through all three levels of abstraction, then adapts
+// the positioning process at runtime — inserting the §3.1 satellite
+// filter into the running pipeline — and shows that the Process
+// Channel Layer's reflection stays causally connected to the change.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"perpos/internal/building"
+	"perpos/internal/channel"
+	"perpos/internal/core"
+	"perpos/internal/gps"
+	"perpos/internal/positioning"
+	"perpos/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "inspector:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	b := building.Evaluation()
+	tr := trace.Commute(b, 41, 120, 500*time.Millisecond)
+
+	g := core.New()
+	comps := []core.Component{
+		gps.NewReceiver("gps", tr, gps.Config{Seed: 42, ColdStart: 2 * time.Second}),
+		gps.NewParser("parser"),
+		gps.NewInterpreter("interpreter", 0),
+		core.NewSink("app", []core.Kind{positioning.KindPosition}),
+	}
+	for _, c := range comps {
+		if _, err := g.Add(c); err != nil {
+			return err
+		}
+	}
+	for _, e := range []struct{ from, to string }{
+		{"gps", "parser"}, {"parser", "interpreter"}, {"interpreter", "app"},
+	} {
+		if err := g.Connect(e.from, e.to, 0); err != nil {
+			return err
+		}
+	}
+	parserNode, _ := g.Node("parser")
+	satFeature := gps.NewSatellitesFeature()
+	if err := parserNode.AttachFeature(satFeature); err != nil {
+		return err
+	}
+
+	layer := channel.NewLayer(g)
+	defer layer.Close()
+
+	printLayers := func(stage string) {
+		fmt.Printf("--- %s ---\n", stage)
+		fmt.Print("PSL: ")
+		for i, n := range g.Nodes() {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(n.ID())
+		}
+		fmt.Println()
+		for _, c := range layer.View().Channels {
+			fmt.Printf("PCL: channel %s nodes=%v\n", c.ID, c.Nodes)
+		}
+	}
+
+	printLayers("initial pipeline")
+
+	// Run the first half: count what the app sees.
+	half := tr.Len() / 2
+	for i := 0; i < half; i++ {
+		if _, err := g.StepAll(); err != nil {
+			return err
+		}
+	}
+	sink, _ := g.Node("app")
+	before := sink.Component().(*core.Sink).Len()
+	fmt.Printf("first half: %d positions delivered\n\n", before)
+
+	// The developer notices unreliable indoor fixes and inserts the
+	// satellite filter into the RUNNING process — no middleware code
+	// changed, no pipeline restart.
+	if err := g.InsertBetween(gps.NewSatelliteFilter("satfilter", 6),
+		"parser", "interpreter", 0, 0); err != nil {
+		return err
+	}
+	layer.Refresh() // reflection stays causally connected
+
+	printLayers("after inserting satfilter")
+
+	// Inspect the feature state through the PSL.
+	if f, ok := parserNode.Feature(gps.FeatureSatellites); ok {
+		if n, seen := f.(gps.SatelliteProvider).Satellites(); seen {
+			fmt.Printf("parser's NumberOfSatellites feature currently reads %d\n", n)
+		}
+	}
+
+	// Run the second half.
+	for {
+		more, err := g.StepAll()
+		if err != nil {
+			return err
+		}
+		if !more {
+			break
+		}
+	}
+	after := sink.Component().(*core.Sink).Len() - before
+	fmt.Printf("second half: %d positions delivered (ghost fixes now filtered)\n", after)
+
+	// The channel's data tree shows the filter inside the process.
+	if ch, ok := layer.ChannelInto("app", 0); ok {
+		if tree, ok := ch.LastTree(); ok {
+			fmt.Printf("last data tree: depth %d, %d elements\n", tree.Depth(), tree.Size())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+// Particle filter (§3.2, Fig. 5): the detail-demanding application.
+// The developer improves positioning by plugging a particle filter into
+// the middleware using only the public adaptation API:
+//
+//  1. attach the HDOP Component Feature to the Parser (Fig. 5, label 3),
+//  2. attach the Likelihood Channel Feature to the GPS channel
+//     (label 2), which collects HDOP values from each delivery's data
+//     tree,
+//  3. have the particle filter fetch the Likelihood feature from its
+//     input channel and weight each particle with it (label 1).
+//
+// The program prints raw-GPS vs particle-filter error statistics over
+// an indoor corridor walk — the Fig. 6 refinement.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"perpos/internal/building"
+	"perpos/internal/channel"
+	"perpos/internal/core"
+	"perpos/internal/filter"
+	"perpos/internal/geo"
+	"perpos/internal/gps"
+	"perpos/internal/positioning"
+	"perpos/internal/trace"
+	"perpos/internal/viz"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "particlefilter:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	b := building.Evaluation()
+	tr := trace.CorridorWalk(b, 11, 6, time.Second)
+
+	// --- PSL: the GPS pipeline with the particle filter appended ---
+	g := core.New()
+	pf := filter.NewParticleFilter("particle-filter", b, filter.Config{Particles: 400, Seed: 12})
+	comps := []core.Component{
+		gps.NewReceiver("gps", tr, gps.Config{Seed: 13, ColdStart: 2 * time.Second, IndoorDriftRate: 0.2}),
+		gps.NewParser("parser"),
+		gps.NewInterpreter("interpreter", 0),
+		pf,
+		core.NewSink("app", []core.Kind{positioning.KindPosition}),
+	}
+	for _, c := range comps {
+		if _, err := g.Add(c); err != nil {
+			return err
+		}
+	}
+	for _, e := range []struct{ from, to string }{
+		{"gps", "parser"}, {"parser", "interpreter"},
+		{"interpreter", "particle-filter"}, {"particle-filter", "app"},
+	} {
+		if err := g.Connect(e.from, e.to, 0); err != nil {
+			return err
+		}
+	}
+
+	// (3) The HDOP Component Feature on the Parser.
+	parserNode, _ := g.Node("parser")
+	if err := parserNode.AttachFeature(gps.NewHDOPFeature()); err != nil {
+		return err
+	}
+
+	// (2) The Likelihood Channel Feature on the GPS channel.
+	layer := channel.NewLayer(g)
+	defer layer.Close()
+	ch, ok := layer.ChannelInto("particle-filter", 0)
+	if !ok {
+		return fmt.Errorf("no channel into the particle filter")
+	}
+	if err := ch.AttachFeature(filter.NewHDOPLikelihood(0)); err != nil {
+		return err
+	}
+
+	// (1) The filter retrieves the feature from its input channel.
+	likeAny, ok := ch.Feature(filter.FeatureLikelihood)
+	if !ok {
+		return fmt.Errorf("likelihood feature not retrievable")
+	}
+	pf.UseLikelihood(likeAny.(filter.Likelihood))
+
+	// Compare raw and refined error with a tap on both components, and
+	// collect the paths for the Fig. 6 style map.
+	proj := geo.NewProjection(tr.Origin)
+	var rawErrs, pfErrs []float64
+	var pfPath []geo.ENU
+	cancel := g.Tap(func(id string, s core.Sample) {
+		pos, ok := s.Payload.(positioning.Position)
+		if !ok || s.FromFeature != "" {
+			return
+		}
+		truth, ok := tr.At(s.Time)
+		if !ok {
+			return
+		}
+		local := pos.Local
+		if !pos.HasLocal {
+			local = proj.ToLocal(pos.Global)
+		}
+		e := local.Distance(truth.Local)
+		switch id {
+		case "interpreter":
+			rawErrs = append(rawErrs, e)
+		case "particle-filter":
+			pfErrs = append(pfErrs, e)
+			pfPath = append(pfPath, local)
+		}
+	})
+	defer cancel()
+
+	if _, err := g.Run(0); err != nil {
+		return err
+	}
+
+	fmt.Printf("positions: %d raw, %d filtered\n", len(rawErrs), len(pfErrs))
+	fmt.Printf("raw GPS        mean %.1f m\n", mean(rawErrs))
+	fmt.Printf("particle filter mean %.1f m\n", mean(pfErrs))
+	emitted, resamples, reinits := pf.Stats()
+	fmt.Printf("filter: %d estimates, %d resamples, %d reinits, %d live particles\n",
+		emitted, resamples, reinits, len(pf.Particles()))
+
+	like := likeAny.(*filter.HDOPLikelihood)
+	fmt.Printf("likelihood feature saw %d HDOP values in the last tree (sigma %.1f m)\n",
+		len(like.HDOPs()), like.Sigma())
+
+	// The Fig. 6 frame: floor plan, final particle cloud, refined trace
+	// and ground truth.
+	var cloud []geo.ENU
+	for _, part := range pf.Particles() {
+		cloud = append(cloud, part.Pos)
+	}
+	var truthPath []geo.ENU
+	for i := 0; i < tr.Len(); i += 5 {
+		truthPath = append(truthPath, tr.Points[i].Local)
+	}
+	fmt.Println()
+	fmt.Print(viz.Snapshot(b, 0, 100, cloud, pfPath, truthPath))
+	return nil
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}

@@ -1,0 +1,94 @@
+// Quickstart: the transparent face of PerPos. An application asks the
+// Positioning Layer for a location provider matching its criteria and
+// consumes technology-independent positions — never touching the
+// processing layers below (paper §2.3).
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"perpos/internal/building"
+	"perpos/internal/core"
+	"perpos/internal/geo"
+	"perpos/internal/gps"
+	"perpos/internal/positioning"
+	"perpos/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// --- middleware side: a GPS pipeline terminating in a provider ---
+	b := building.Evaluation()
+	tr := trace.Commute(b, 1, 120, 500*time.Millisecond)
+
+	provider := positioning.NewProvider("gps", positioning.ProviderInfo{
+		Technology:      "gps",
+		TypicalAccuracy: 5,
+	}, nil)
+
+	g := core.New()
+	comps := []core.Component{
+		gps.NewReceiver("receiver", tr, gps.Config{Seed: 2, ColdStart: 2 * time.Second}),
+		gps.NewParser("parser"),
+		gps.NewInterpreter("interpreter", 0),
+		positioning.NewProviderSink("app", provider),
+	}
+	for _, c := range comps {
+		if _, err := g.Add(c); err != nil {
+			return err
+		}
+	}
+	for _, e := range []struct{ from, to string }{
+		{"receiver", "parser"}, {"parser", "interpreter"}, {"interpreter", "app"},
+	} {
+		if err := g.Connect(e.from, e.to, 0); err != nil {
+			return err
+		}
+	}
+
+	manager := &positioning.Manager{}
+	if err := manager.Register(provider); err != nil {
+		return err
+	}
+
+	// --- application side: criteria, push and pull ---
+	p, err := manager.Provider(positioning.Criteria{MaxAccuracy: 10})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("selected provider %q (%s)\n", p.Name(), p.Info().Technology)
+
+	count := 0
+	cancel := p.Subscribe(func(pos positioning.Position) {
+		if count < 5 {
+			fmt.Println("push:", pos)
+		}
+		count++
+	})
+	defer cancel()
+
+	// A proximity notification 40 m around the building entrance.
+	entrance := b.Projection().ToGlobal(geo.ENU{East: 0, North: 6})
+	cancelProx := p.NotifyProximity(entrance, 40, func(pos positioning.Position) {
+		fmt.Println("proximity: entered the 40 m zone at", pos.Global)
+	})
+	defer cancelProx()
+
+	if _, err := g.Run(0); err != nil {
+		return err
+	}
+
+	if last, ok := p.Last(); ok {
+		fmt.Println("pull (final):", last)
+	}
+	fmt.Printf("received %d positions\n", count)
+	return nil
+}

@@ -1,0 +1,118 @@
+// Room Number application (Fig. 1 and the paper's introduction): show
+// the current position as a point on a map when outdoors and highlight
+// the currently occupied room when inside the building.
+//
+// Two concrete positioning processes feed one application: the phone's
+// GPS (receiver -> Parser -> Interpreter -> WGS84 positions) and the
+// building's WiFi positioning system (sensor -> positioning -> Resolver
+// -> room IDs). The application itself stays technology-transparent.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"perpos/internal/building"
+	"perpos/internal/core"
+	"perpos/internal/gps"
+	"perpos/internal/positioning"
+	"perpos/internal/trace"
+	"perpos/internal/wifi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "roomnumber:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	b := building.Evaluation()
+	tr := trace.Commute(b, 21, 150, 500*time.Millisecond)
+	network := wifi.DefaultDeployment(b)
+	db := wifi.Survey(network, 0, wifi.SurveyConfig{Seed: 22})
+
+	g := core.New()
+	comps := []core.Component{
+		gps.NewReceiver("gps", tr, gps.Config{Seed: 23, ColdStart: 2 * time.Second}),
+		gps.NewParser("parser"),
+		gps.NewInterpreter("interpreter", 0),
+		wifi.NewSensor("wifi", network, tr, 2*time.Second, 24),
+		wifi.NewEngine("positioning", db, b, 3),
+		wifi.NewResolver("resolver", b),
+	}
+	for _, c := range comps {
+		if _, err := g.Add(c); err != nil {
+			return err
+		}
+	}
+
+	// The application sink: a tiny state machine that switches between
+	// map mode and room mode. Room events supersede GPS points; GPS
+	// points are shown while no recent room event exists.
+	var (
+		lastRoom     string
+		lastRoomAt   time.Time
+		mapPoints    int
+		roomSwitches int
+	)
+	app := &core.FuncComponent{
+		CompID: "app",
+		CompSpec: core.Spec{
+			Name: "RoomNumberApp",
+			Inputs: []core.PortSpec{
+				{Name: "gps", Accepts: []core.Kind{positioning.KindPosition}},
+				{Name: "room", Accepts: []core.Kind{positioning.KindRoom}},
+			},
+		},
+		Fn: func(port int, in core.Sample, _ core.Emit) error {
+			switch port {
+			case 0:
+				pos := in.Payload.(positioning.Position)
+				// Outdoor mode: only when the room view is stale.
+				if in.Time.Sub(lastRoomAt) > 5*time.Second {
+					if mapPoints < 5 || mapPoints%60 == 0 {
+						fmt.Printf("[map ] %v\n", pos)
+					}
+					mapPoints++
+				}
+			case 1:
+				room := in.Payload.(string)
+				if room != lastRoom {
+					fmt.Printf("[room] now in %s\n", room)
+					lastRoom = room
+					roomSwitches++
+				}
+				lastRoomAt = in.Time
+			}
+			return nil
+		},
+	}
+	if _, err := g.Add(app); err != nil {
+		return err
+	}
+	for _, e := range []struct {
+		from, to string
+		port     int
+	}{
+		{"gps", "parser", 0},
+		{"parser", "interpreter", 0},
+		{"interpreter", "app", 0},
+		{"wifi", "positioning", 0},
+		{"positioning", "resolver", 0},
+		{"resolver", "app", 1},
+	} {
+		if err := g.Connect(e.from, e.to, e.port); err != nil {
+			return err
+		}
+	}
+
+	if _, err := g.Run(0); err != nil {
+		return err
+	}
+	fmt.Printf("done: %d map points, %d room switches, final room %q (truth: %q)\n",
+		mapPoints, roomSwitches, lastRoom, tr.Points[tr.Len()-1].RoomID)
+	return nil
+}

@@ -1,0 +1,3 @@
+module perpos
+
+go 1.22

@@ -1,0 +1,112 @@
+// Package catalog preloads a registry with the repository's standard
+// Processing Component types, so whole pipelines can be assembled
+// declaratively (§2.1) — the role the OSGi bundle repository played for
+// the original middleware.
+//
+// Registration order matters: the resolver instantiates the first
+// registered type whose output satisfies an open requirement, so more
+// specific providers (the WiFi engine, which needs a surveyed database)
+// are registered after the generic GPS chain.
+package catalog
+
+import (
+	"fmt"
+	"time"
+
+	"perpos/internal/building"
+	"perpos/internal/core"
+	"perpos/internal/filter"
+	"perpos/internal/gps"
+	"perpos/internal/registry"
+	"perpos/internal/transport"
+	"perpos/internal/wifi"
+)
+
+// Deps carries the shared state some component types need.
+type Deps struct {
+	// Building enables the Resolver, ParticleFilter and WiFi engine
+	// registrations.
+	Building *building.Building
+	// Database enables the WiFi positioning engine registration.
+	Database *wifi.Database
+	// SegmentWindow configures Segmenter instances (default 30 s).
+	SegmentWindow time.Duration
+}
+
+// Standard returns a registry with the standard component types. The
+// GPS chain (Parser, Interpreter) is always available; building- and
+// database-dependent types are added when Deps provides their inputs.
+func Standard(deps Deps) (*registry.Registry, error) {
+	r := &registry.Registry{}
+	regs := []registry.Registration{
+		{
+			Name: "Parser",
+			Spec: gps.NewParser("proto").Spec(),
+			New:  func(id string) core.Component { return gps.NewParser(id) },
+		},
+		{
+			Name: "Interpreter",
+			Spec: gps.NewInterpreter("proto", 0).Spec(),
+			New:  func(id string) core.Component { return gps.NewInterpreter(id, 0) },
+		},
+		{
+			Name: "Segmenter",
+			Spec: transport.NewSegmenter("proto", deps.SegmentWindow).Spec(),
+			New: func(id string) core.Component {
+				return transport.NewSegmenter(id, deps.SegmentWindow)
+			},
+		},
+		{
+			Name: "FeatureExtractor",
+			Spec: transport.NewFeatureExtractor("proto").Spec(),
+			New:  func(id string) core.Component { return transport.NewFeatureExtractor(id) },
+		},
+		{
+			Name: "ModeClassifier",
+			Spec: transport.NewClassifier("proto").Spec(),
+			New:  func(id string) core.Component { return transport.NewClassifier(id) },
+		},
+		{
+			Name: "HMMSmoother",
+			Spec: transport.NewHMMSmoother("proto", 0).Spec(),
+			New:  func(id string) core.Component { return transport.NewHMMSmoother(id, 0) },
+		},
+	}
+	if deps.Building != nil {
+		b := deps.Building
+		// WiFiPositioning registers before the Resolver and the
+		// ParticleFilter: the resolver prefers earlier registrations, so
+		// position requirements resolve to the concrete technology chain
+		// before the generic fusion component.
+		if deps.Database != nil {
+			db := deps.Database
+			regs = append(regs, registry.Registration{
+				Name: "WiFiPositioning",
+				Spec: wifi.NewEngine("proto", db, b, 0).Spec(),
+				New: func(id string) core.Component {
+					return wifi.NewEngine(id, db, b, 0)
+				},
+			})
+		}
+		regs = append(regs,
+			registry.Registration{
+				Name: "Resolver",
+				Spec: wifi.NewResolver("proto", b).Spec(),
+				New:  func(id string) core.Component { return wifi.NewResolver(id, b) },
+			},
+			registry.Registration{
+				Name: "ParticleFilter",
+				Spec: filter.NewParticleFilter("proto", b, filter.Config{}).Spec(),
+				New: func(id string) core.Component {
+					return filter.NewParticleFilter(id, b, filter.Config{})
+				},
+			},
+		)
+	}
+	for _, reg := range regs {
+		if err := r.Register(reg); err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,158 @@
+package catalog
+
+import (
+	"testing"
+	"time"
+
+	"perpos/internal/building"
+	"perpos/internal/core"
+	"perpos/internal/geo"
+	"perpos/internal/gps"
+	"perpos/internal/positioning"
+	"perpos/internal/trace"
+	"perpos/internal/transport"
+	"perpos/internal/wifi"
+)
+
+var testOrigin = geo.Point{Lat: 56.1629, Lon: 10.2039}
+
+func TestStandardRegistersBaseTypes(t *testing.T) {
+	r, err := Standard(Deps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Parser", "Interpreter", "Segmenter", "ModeClassifier", "HMMSmoother"} {
+		if _, ok := r.Lookup(name); !ok {
+			t.Errorf("missing registration %q", name)
+		}
+	}
+	// Dependent types absent without deps.
+	if _, ok := r.Lookup("Resolver"); ok {
+		t.Error("Resolver registered without a building")
+	}
+	if _, ok := r.Lookup("WiFiPositioning"); ok {
+		t.Error("WiFiPositioning registered without a database")
+	}
+}
+
+func TestStandardWithDeps(t *testing.T) {
+	b := building.Evaluation()
+	n := wifi.DefaultDeployment(b)
+	db := wifi.Survey(n, 0, wifi.SurveyConfig{Seed: 1, GridStep: 4})
+	r, err := Standard(Deps{Building: b, Database: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Resolver", "ParticleFilter", "WiFiPositioning"} {
+		if _, ok := r.Lookup(name); !ok {
+			t.Errorf("missing registration %q", name)
+		}
+	}
+}
+
+// TestAssembleGPSPipeline: sensor + app, catalog fills the middle.
+func TestAssembleGPSPipeline(t *testing.T) {
+	r, err := Standard(Deps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.New()
+	tr := trace.OutdoorTrack(testOrigin, 2, 2, 100, 1.4, time.Second)
+	if _, err := g.Add(gps.NewReceiver("gps", tr, gps.Config{Seed: 3, ColdStart: time.Second})); err != nil {
+		t.Fatal(err)
+	}
+	sink := core.NewSink("app", []core.Kind{positioning.KindPosition})
+	if _, err := g.Add(sink); err != nil {
+		t.Fatal(err)
+	}
+	created, err := r.Resolve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(created) != 2 {
+		t.Fatalf("created %v, want Parser + Interpreter", created)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() == 0 {
+		t.Error("assembled pipeline delivered nothing")
+	}
+}
+
+// TestAssembleTransportPipeline: a mode-consuming app pulls the whole
+// seven-component reasoning chain out of the catalog.
+func TestAssembleTransportPipeline(t *testing.T) {
+	r, err := Standard(Deps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := core.New()
+	tr := trace.Multimodal(testOrigin, 4, time.Second)
+	if _, err := g.Add(gps.NewReceiver("gps", tr, gps.Config{Seed: 5, ColdStart: time.Second})); err != nil {
+		t.Fatal(err)
+	}
+	sink := core.NewSink("app", []core.Kind{transport.KindMode})
+	if _, err := g.Add(sink); err != nil {
+		t.Fatal(err)
+	}
+	created, err := r.Resolve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HMM (or classifier) <- features <- segmenter <- interpreter <-
+	// parser: 5 or 6 instantiations depending on which mode producer is
+	// chosen first.
+	if len(created) < 5 {
+		t.Fatalf("created %v", created)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() == 0 {
+		t.Error("assembled transport pipeline delivered nothing")
+	}
+	if _, ok := sink.Received()[0].Payload.(transport.ModeEstimate); !ok {
+		t.Errorf("payload = %T", sink.Received()[0].Payload)
+	}
+}
+
+// TestAssembleRoomPipeline: room-consuming app + wifi sensor: the
+// catalog supplies the positioning engine and resolver.
+func TestAssembleRoomPipeline(t *testing.T) {
+	b := building.Evaluation()
+	n := wifi.DefaultDeployment(b)
+	db := wifi.Survey(n, 0, wifi.SurveyConfig{Seed: 6})
+	r, err := Standard(Deps{Building: b, Database: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := core.New()
+	tr := trace.CorridorWalk(b, 7, 3, time.Second)
+	if _, err := g.Add(wifi.NewSensor("wifi", n, tr, 2*time.Second, 8)); err != nil {
+		t.Fatal(err)
+	}
+	sink := core.NewSink("app", []core.Kind{positioning.KindRoom})
+	if _, err := g.Add(sink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() == 0 {
+		t.Error("assembled room pipeline delivered nothing")
+	}
+}

@@ -1,0 +1,261 @@
+package channel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"perpos/internal/core"
+)
+
+// Errors returned by the Process Channel Layer.
+var (
+	// ErrUnmetRequirement indicates a Channel Feature whose declared
+	// requirements are not satisfied by the channel.
+	ErrUnmetRequirement = errors.New("channel: feature requirement not satisfied")
+	// ErrFeatureExists indicates a duplicate channel feature name.
+	ErrFeatureExists = errors.New("channel: feature already attached")
+	// ErrNotFound indicates a missing channel or feature.
+	ErrNotFound = errors.New("channel: not found")
+)
+
+// Feature is a Channel Feature (paper §2.2): functionality that depends
+// on data produced at several intermediate steps of the positioning
+// process. Apply is called by the middleware every time the Channel
+// delivers a data element, with the data tree that produced it; the
+// feature updates its internal state from the tree. Richer functionality
+// (e.g. Likelihood.getLikelihood) is exposed by type-asserting the
+// feature, exactly like Component Features.
+type Feature interface {
+	// FeatureName returns the unique name the feature is attached under.
+	FeatureName() string
+	// Apply is invoked once per channel delivery, before the consumer
+	// processes the delivered sample, so the feature's state always
+	// corresponds to the sample the consumer is about to see.
+	Apply(tree *DataTree)
+}
+
+// Requirements declares what a Channel Feature needs from its channel
+// (paper: "input requirements may include Component Features, Channel
+// Features, and Processing Components").
+type Requirements struct {
+	// ComponentFeatures must each be provided by at least one Processing
+	// Component in the channel.
+	ComponentFeatures []string
+	// ChannelFeatures must already be attached to the channel.
+	ChannelFeatures []string
+	// Components are component type names (Spec.Name) that must be
+	// present in the channel.
+	Components []string
+}
+
+// RequiringFeature is implemented by Channel Features that declare
+// requirements; they are validated at attach time.
+type RequiringFeature interface {
+	Feature
+	Requires() Requirements
+}
+
+// Channel is the PCL connection between two end points: a data source
+// (sensor or merge component) and a consumer (merge component or the
+// application). It encapsulates the positioning process taking place
+// between them (paper §2.2).
+type Channel struct {
+	id       string
+	source   *core.Node
+	nodes    []*core.Node // source .. endpoint, in flow order
+	endpoint *core.Node
+	consumer *core.Node
+	port     int // consumer input port the channel feeds
+
+	mu       sync.RWMutex
+	features []Feature
+	lastTree *DataTree
+}
+
+// ID returns the channel identifier, "<source>-><consumer>:<port>".
+func (c *Channel) ID() string { return c.id }
+
+// Source returns the node producing into the channel (a sensor or merge
+// component — the PCL data source).
+func (c *Channel) Source() *core.Node { return c.source }
+
+// Endpoint returns the last Processing Component inside the channel; its
+// output is what the channel delivers.
+func (c *Channel) Endpoint() *core.Node { return c.endpoint }
+
+// Consumer returns the merge component or application sink fed by the
+// channel.
+func (c *Channel) Consumer() *core.Node { return c.consumer }
+
+// ConsumerPort returns the consumer input port the channel feeds.
+func (c *Channel) ConsumerPort() int { return c.port }
+
+// Nodes returns the Processing Components inside the channel in flow
+// order (source first). The slice is a copy.
+func (c *Channel) Nodes() []*core.Node {
+	out := make([]*core.Node, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// NodeIDs returns the component IDs inside the channel in flow order.
+func (c *Channel) NodeIDs() []string {
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.ID()
+	}
+	return out
+}
+
+// AttachFeature adds a Channel Feature, validating any declared
+// requirements against the channel's components, their Component
+// Features, and previously attached Channel Features.
+func (c *Channel) AttachFeature(f Feature) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, existing := range c.features {
+		if existing.FeatureName() == f.FeatureName() {
+			return fmt.Errorf("%w: %q on %q", ErrFeatureExists, f.FeatureName(), c.id)
+		}
+	}
+	if rf, ok := f.(RequiringFeature); ok {
+		if err := c.checkRequirements(rf.Requires()); err != nil {
+			return fmt.Errorf("attach %q to %q: %w", f.FeatureName(), c.id, err)
+		}
+	}
+	c.features = append(c.features, f)
+	return nil
+}
+
+// checkRequirements validates req against the channel. Called with c.mu
+// held.
+func (c *Channel) checkRequirements(req Requirements) error {
+	for _, want := range req.ComponentFeatures {
+		found := false
+		for _, n := range c.nodes {
+			if n.HasCapability(want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: component feature %q", ErrUnmetRequirement, want)
+		}
+	}
+	for _, want := range req.ChannelFeatures {
+		found := false
+		for _, f := range c.features {
+			if f.FeatureName() == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: channel feature %q", ErrUnmetRequirement, want)
+		}
+	}
+	for _, want := range req.Components {
+		found := false
+		for _, n := range c.nodes {
+			if n.Spec().Name == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: component %q", ErrUnmetRequirement, want)
+		}
+	}
+	return nil
+}
+
+// DetachFeature removes the named Channel Feature.
+func (c *Channel) DetachFeature(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, f := range c.features {
+		if f.FeatureName() == name {
+			c.features = append(c.features[:i], c.features[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: channel feature %q on %q", ErrNotFound, name, c.id)
+}
+
+// Feature returns the named feature. It searches attached Channel
+// Features first, then the end point's Component Features ("a Channel
+// Feature is semantically equivalent to a Component Feature attached to
+// the last Processing Component of the Channel" — and vice versa for
+// lookups), and finally the Component Features of the other components
+// in the channel, walking upstream. The last rule is what lets the
+// EnTracked Channel Feature find the Power Strategy feature sitting on
+// the sensor wrapper at the far end of the channel (§3.3).
+func (c *Channel) Feature(name string) (any, bool) {
+	c.mu.RLock()
+	for _, f := range c.features {
+		if f.FeatureName() == name {
+			c.mu.RUnlock()
+			return f, true
+		}
+	}
+	c.mu.RUnlock()
+	for i := len(c.nodes) - 1; i >= 0; i-- {
+		if cf, ok := c.nodes[i].Feature(name); ok {
+			return cf, true
+		}
+	}
+	return nil, false
+}
+
+// Features returns the attached Channel Features in attach order.
+func (c *Channel) Features() []Feature {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Feature, len(c.features))
+	copy(out, c.features)
+	return out
+}
+
+// FeatureNames returns the names of attached Channel Features.
+func (c *Channel) FeatureNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, len(c.features))
+	for i, f := range c.features {
+		out[i] = f.FeatureName()
+	}
+	return out
+}
+
+// LastTree returns the data tree of the most recent delivery, if any.
+// PSL-averse developers can use this for ad-hoc inspection; Channel
+// Features should rely on Apply instead.
+func (c *Channel) LastTree() (*DataTree, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.lastTree, c.lastTree != nil
+}
+
+// deliver is called by the Layer when the channel end point emits a
+// sample: it stores the tree and applies every Channel Feature.
+func (c *Channel) deliver(tree *DataTree) {
+	c.mu.Lock()
+	c.lastTree = tree
+	features := make([]Feature, len(c.features))
+	copy(features, c.features)
+	c.mu.Unlock()
+	for _, f := range features {
+		f.Apply(tree)
+	}
+}
+
+// contains reports whether the channel includes the given component.
+func (c *Channel) contains(id string) bool {
+	for _, n := range c.nodes {
+		if n.ID() == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,359 @@
+package channel
+
+import (
+	"fmt"
+	"sync"
+
+	"perpos/internal/core"
+)
+
+// Layer is the Process Channel Layer view of a graph: it derives the
+// Channels from the PSL structure (so the causal connection survives
+// graph edits — call Refresh after structural changes), records every
+// emission, and builds the Fig. 4 data tree for each channel delivery.
+type Layer struct {
+	g *core.Graph
+
+	mu       sync.Mutex
+	channels []*Channel
+	// byEndpoint maps endpoint component ID -> channels delivering from
+	// it (a fan-out endpoint can feed several consumers).
+	byEndpoint map[string][]*Channel
+	// history holds recent samples per component for tree construction.
+	history map[string]*ring
+	keep    int
+
+	cancelTap func()
+}
+
+// LayerOption configures a Layer.
+type LayerOption func(*Layer)
+
+// WithHistory sets how many recent samples per component are retained
+// for data-tree construction (default 1024).
+func WithHistory(n int) LayerOption {
+	return func(l *Layer) {
+		if n > 0 {
+			l.keep = n
+		}
+	}
+}
+
+// NewLayer derives the channels of g and starts observing its
+// emissions. Call Close when done.
+func NewLayer(g *core.Graph, opts ...LayerOption) *Layer {
+	l := &Layer{
+		g:    g,
+		keep: 1024,
+	}
+	for _, opt := range opts {
+		opt(l)
+	}
+	l.rebuild(nil)
+	l.cancelTap = g.Tap(l.observe)
+	return l
+}
+
+// Close detaches the layer from the graph.
+func (l *Layer) Close() {
+	if l.cancelTap != nil {
+		l.cancelTap()
+		l.cancelTap = nil
+	}
+}
+
+// Channels returns the current channels in deterministic order.
+func (l *Layer) Channels() []*Channel {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Channel, len(l.channels))
+	copy(out, l.channels)
+	return out
+}
+
+// Channel returns the channel with the given ID.
+func (l *Layer) Channel(id string) (*Channel, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.channels {
+		if c.id == id {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// ChannelInto returns the channel feeding the given consumer input port
+// — the Fig. 5 "inputChannel" the particle filter asks for.
+func (l *Layer) ChannelInto(consumerID string, port int) (*Channel, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.channels {
+		if c.consumer != nil && c.consumer.ID() == consumerID && c.port == port {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// ChannelsFrom returns the channels whose data source is the given
+// component.
+func (l *Layer) ChannelsFrom(sourceID string) []*Channel {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []*Channel
+	for _, c := range l.channels {
+		if c.source.ID() == sourceID {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Refresh re-derives the channels after a graph edit, preserving the
+// Channel Features of channels whose identity (source, consumer, port)
+// is unchanged — this is what maintains the reflection layer's causal
+// connection to the positioning system.
+func (l *Layer) Refresh() {
+	l.mu.Lock()
+	old := l.channels
+	l.mu.Unlock()
+	l.rebuild(old)
+}
+
+func (l *Layer) rebuild(old []*Channel) {
+	oldFeatures := make(map[string][]Feature, len(old))
+	oldTrees := make(map[string]*DataTree, len(old))
+	for _, c := range old {
+		oldFeatures[c.id] = c.Features()
+		if t, ok := c.LastTree(); ok {
+			oldTrees[c.id] = t
+		}
+	}
+
+	channels := derive(l.g)
+	byEndpoint := make(map[string][]*Channel)
+	for _, c := range channels {
+		if fs, ok := oldFeatures[c.id]; ok {
+			c.features = fs
+			c.lastTree = oldTrees[c.id]
+		}
+		epID := c.endpoint.ID()
+		byEndpoint[epID] = append(byEndpoint[epID], c)
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.channels = channels
+	l.byEndpoint = byEndpoint
+	if l.history == nil {
+		l.history = make(map[string]*ring)
+	}
+}
+
+// observe is the graph tap: record the sample, and when the emitting
+// component is a channel end point, build and deliver the data tree.
+func (l *Layer) observe(componentID string, s core.Sample) {
+	l.mu.Lock()
+	r, ok := l.history[componentID]
+	if !ok {
+		r = newRing(l.keep)
+		l.history[componentID] = r
+	}
+	r.add(s)
+
+	var deliveries []delivery
+	if s.FromFeature == "" {
+		for _, c := range l.byEndpoint[componentID] {
+			deliveries = append(deliveries, delivery{c: c, tree: l.buildTreeLocked(c, s)})
+		}
+	}
+	l.mu.Unlock()
+
+	// Apply features outside the layer lock: Apply implementations may
+	// call back into the layer or the graph.
+	for _, d := range deliveries {
+		d.c.deliver(d.tree)
+	}
+}
+
+type delivery struct {
+	c    *Channel
+	tree *DataTree
+}
+
+// buildTreeLocked builds the Fig. 4 data tree for one endpoint sample by
+// resolving consumption spans against recorded history, bounded to the
+// channel's own components.
+func (l *Layer) buildTreeLocked(c *Channel, root core.Sample) *DataTree {
+	var build func(s core.Sample) *TreeNode
+	build = func(s core.Sample) *TreeNode {
+		node := &TreeNode{Sample: s}
+		for _, span := range s.Spans {
+			if !c.contains(span.Source) {
+				// The span refers outside the channel (e.g. a merge
+				// source consuming its own input channels) — the tree
+				// stops at the channel boundary.
+				continue
+			}
+			r, ok := l.history[span.Source]
+			if !ok {
+				continue
+			}
+			for _, child := range r.inRange(span.From, span.To) {
+				node.Children = append(node.Children, build(child))
+			}
+		}
+		return node
+	}
+	return &DataTree{Root: build(root)}
+}
+
+// View is a structural snapshot of the PCL for inspection tooling: the
+// middle layer of Fig. 2.
+type View struct {
+	Sources  []string
+	Merges   []string
+	Sinks    []string
+	Channels []ChannelInfo
+}
+
+// ChannelInfo summarizes one channel for inspection.
+type ChannelInfo struct {
+	ID       string
+	Nodes    []string
+	Consumer string
+	Features []string
+}
+
+// View returns the current PCL structure.
+func (l *Layer) View() View {
+	var v View
+	for _, n := range l.g.Nodes() {
+		spec := n.Spec()
+		switch {
+		case spec.IsSource():
+			v.Sources = append(v.Sources, n.ID())
+		case spec.IsSink():
+			v.Sinks = append(v.Sinks, n.ID())
+		case spec.IsMerge():
+			v.Merges = append(v.Merges, n.ID())
+		}
+	}
+	for _, c := range l.Channels() {
+		info := ChannelInfo{
+			ID:       c.ID(),
+			Nodes:    c.NodeIDs(),
+			Features: c.FeatureNames(),
+		}
+		if c.consumer != nil {
+			info.Consumer = c.consumer.ID()
+		}
+		v.Channels = append(v.Channels, info)
+	}
+	return v
+}
+
+// derive computes the channels of a graph: one channel per linear
+// pipeline from a data source (graph source or merge component) to the
+// next merge component or sink.
+func derive(g *core.Graph) []*Channel {
+	// adjacency: from -> outgoing edges, in deterministic order.
+	adj := make(map[string][]core.Edge)
+	for _, e := range g.Edges() {
+		adj[e.From] = append(adj[e.From], e)
+	}
+	nodeByID := make(map[string]*core.Node)
+	for _, n := range g.Nodes() {
+		nodeByID[n.ID()] = n
+	}
+
+	var channels []*Channel
+	var follow func(source *core.Node, path []*core.Node, e core.Edge)
+	follow = func(source *core.Node, path []*core.Node, e core.Edge) {
+		next := nodeByID[e.To]
+		spec := next.Spec()
+		if spec.IsMerge() || spec.IsSink() {
+			endpoint := path[len(path)-1]
+			channels = append(channels, &Channel{
+				id:       fmt.Sprintf("%s->%s:%d", source.ID(), next.ID(), e.Port),
+				source:   source,
+				nodes:    append([]*core.Node(nil), path...),
+				endpoint: endpoint,
+				consumer: next,
+				port:     e.Port,
+			})
+			return
+		}
+		extended := append(append([]*core.Node(nil), path...), next)
+		outs := adj[next.ID()]
+		if len(outs) == 0 {
+			// Dangling pipeline: a channel without a consumer yet.
+			channels = append(channels, &Channel{
+				id:       fmt.Sprintf("%s->(unconnected)", source.ID()),
+				source:   source,
+				nodes:    extended,
+				endpoint: next,
+				consumer: nil,
+				port:     -1,
+			})
+			return
+		}
+		for _, out := range outs {
+			follow(source, extended, out)
+		}
+	}
+
+	for _, n := range g.Nodes() {
+		spec := n.Spec()
+		if !spec.IsSource() && !spec.IsMerge() {
+			continue
+		}
+		for _, e := range adj[n.ID()] {
+			follow(n, []*core.Node{n}, e)
+		}
+	}
+	return channels
+}
+
+// ring is a fixed-capacity history of samples from one component,
+// ordered by logical time.
+type ring struct {
+	buf  []core.Sample
+	next int
+	full bool
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]core.Sample, capacity)}
+}
+
+func (r *ring) add(s core.Sample) {
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// inRange returns the recorded samples with logical time in [from, to],
+// in logical order. Feature-emitted samples interleaved in the range are
+// included — they contributed to the channel output's grouping window.
+func (r *ring) inRange(from, to core.LogicalTime) []core.Sample {
+	var out []core.Sample
+	scan := func(s core.Sample) {
+		if s.Logical >= from && s.Logical <= to {
+			out = append(out, s)
+		}
+	}
+	if r.full {
+		for i := r.next; i < len(r.buf); i++ {
+			scan(r.buf[i])
+		}
+	}
+	for i := 0; i < r.next; i++ {
+		scan(r.buf[i])
+	}
+	return out
+}

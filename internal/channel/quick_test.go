@@ -1,0 +1,207 @@
+package channel
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"perpos/internal/core"
+)
+
+// buildRandomTree builds a graph with `sources` linear pipelines of
+// `depth` transforms each feeding one merge, which feeds the app.
+func buildRandomTree(t *testing.T, sources, depth int) *core.Graph {
+	t.Helper()
+	g := core.New()
+
+	// A fusion component declares at least two ports (a single-input
+	// component would rightly not count as a PCL merge), even if only
+	// `sources` of them get wired.
+	nPorts := sources
+	if nPorts < 2 {
+		nPorts = 2
+	}
+	inputs := make([]core.PortSpec, nPorts)
+	for i := range inputs {
+		inputs[i] = core.PortSpec{
+			Name:    fmt.Sprintf("in%d", i),
+			Accepts: []core.Kind{core.Kind(fmt.Sprintf("leaf%d.k%d", i, depth))},
+		}
+	}
+	merge := &core.FuncComponent{
+		CompID: "merge",
+		CompSpec: core.Spec{
+			Name:   "merge",
+			Inputs: inputs,
+			Output: core.OutputSpec{Kind: kindEst},
+		},
+		Fn: func(_ int, in core.Sample, emit core.Emit) error {
+			out := in
+			out.Kind = kindEst
+			emit(out)
+			return nil
+		},
+	}
+	mustAdd(t, g, merge)
+	sink := core.NewSink("app", []core.Kind{kindEst})
+	mustAdd(t, g, sink)
+	mustConnect(t, g, "merge", "app", 0)
+
+	for s := 0; s < sources; s++ {
+		srcID := fmt.Sprintf("leaf%d", s)
+		mustAdd(t, g, rawSource(srcID, core.Kind(fmt.Sprintf("leaf%d.k0", s)), 2))
+		prev := srcID
+		for d := 1; d <= depth; d++ {
+			id := fmt.Sprintf("leaf%d.t%d", s, d)
+			mustAdd(t, g, passthrough(id,
+				core.Kind(fmt.Sprintf("leaf%d.k%d", s, d-1)),
+				core.Kind(fmt.Sprintf("leaf%d.k%d", s, d))))
+			mustConnect(t, g, prev, id, 0)
+			prev = id
+		}
+		mustConnect(t, g, prev, "merge", s)
+	}
+	return g
+}
+
+// TestPropertyChannelPartition: in a sources-merge-app tree, derivation
+// yields sources+1 channels, every non-sink component appears in
+// exactly one channel, and each channel's nodes form the path from its
+// source to its endpoint.
+func TestPropertyChannelPartition(t *testing.T) {
+	f := func(sourcesRaw, depthRaw uint8) bool {
+		sources := int(sourcesRaw%4) + 1
+		depth := int(depthRaw % 4)
+		g := buildRandomTree(t, sources, depth)
+		l := NewLayer(g)
+		defer l.Close()
+
+		channels := l.Channels()
+		if len(channels) != sources+1 {
+			t.Logf("sources=%d depth=%d channels=%d", sources, depth, len(channels))
+			return false
+		}
+		seen := map[string]int{}
+		for _, c := range channels {
+			for _, id := range c.NodeIDs() {
+				seen[id]++
+			}
+		}
+		for _, n := range g.Nodes() {
+			if n.Spec().IsSink() {
+				if seen[n.ID()] != 0 {
+					t.Logf("sink %s inside a channel", n.ID())
+					return false
+				}
+				continue
+			}
+			if seen[n.ID()] != 1 {
+				t.Logf("component %s in %d channels", n.ID(), seen[n.ID()])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTreeCoversEmissions: over a full run, each delivered
+// tree's size is positive and bounded by the total number of samples
+// recorded in the channel, and every entry's component belongs to the
+// channel.
+func TestPropertyTreeCoversEmissions(t *testing.T) {
+	f := func(depthRaw uint8) bool {
+		depth := int(depthRaw % 4)
+		g := buildRandomTree(t, 1, depth)
+		l := NewLayer(g)
+		defer l.Close()
+
+		ch, ok := l.ChannelInto("merge", 0)
+		if !ok {
+			return false
+		}
+		members := map[string]bool{}
+		for _, id := range ch.NodeIDs() {
+			members[id] = true
+		}
+		collect := &recordingFeature{name: "rec"}
+		if err := ch.AttachFeature(collect); err != nil {
+			return false
+		}
+		if _, err := g.Run(0); err != nil {
+			return false
+		}
+		if len(collect.trees) == 0 {
+			return false
+		}
+		for _, tree := range collect.trees {
+			if tree.Size() < 1 || tree.Size() > 2*(depth+1)+1 {
+				t.Logf("depth=%d tree size %d", depth, tree.Size())
+				return false
+			}
+			if got := tree.Depth(); got != depth+1 {
+				t.Logf("depth=%d tree depth %d, want %d", depth, got, depth+1)
+				return false
+			}
+			for _, e := range tree.All() {
+				if !members[e.ComponentID] {
+					t.Logf("tree entry from non-member %s", e.ComponentID)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRefreshIdempotent: refreshing the layer any number of
+// times without graph edits leaves the channel set unchanged.
+func TestPropertyRefreshIdempotent(t *testing.T) {
+	f := func(sourcesRaw, refreshes uint8) bool {
+		sources := int(sourcesRaw%3) + 1
+		g := buildRandomTree(t, sources, 1)
+		l := NewLayer(g)
+		defer l.Close()
+
+		before := channelIDs(l.Channels())
+		for i := 0; i < int(refreshes%5); i++ {
+			l.Refresh()
+		}
+		after := channelIDs(l.Channels())
+		return equalStrings(before, after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDataTreesDeterministic: two identical runs produce
+// identical tree renderings.
+func TestPropertyDataTreesDeterministic(t *testing.T) {
+	render := func() string {
+		g, _ := buildFig4Graph(t)
+		l := NewLayer(g)
+		defer l.Close()
+		if _, err := g.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		c, _ := l.ChannelInto("app", 0)
+		tree, ok := c.LastTree()
+		if !ok {
+			t.Fatal("no tree")
+		}
+		return tree.String()
+	}
+	a := render()
+	time.Sleep(time.Millisecond)
+	b := render()
+	if a != b {
+		t.Errorf("non-deterministic trees:\n%s\nvs\n%s", a, b)
+	}
+}

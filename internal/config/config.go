@@ -1,0 +1,149 @@
+// Package config assembles processing graphs from declarative JSON
+// pipeline definitions — the paper's third wiring mechanism:
+// connections "established either by direct calls to the graph
+// manipulation API, based on explicitly defined system level
+// configurations or through dynamic resolution of dependencies"
+// (§2.1). This package is the middle one; it composes with the other
+// two (pre-built instances are passed in, and leftover open ports can
+// be handed to the registry resolver).
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"perpos/internal/core"
+	"perpos/internal/registry"
+)
+
+// Errors returned by the loader.
+var (
+	// ErrUnknownType indicates a component type absent from the
+	// registry.
+	ErrUnknownType = errors.New("config: unknown component type")
+	// ErrUnknownInstance indicates an instance ID absent from the
+	// loader's instances map.
+	ErrUnknownInstance = errors.New("config: unknown instance")
+	// ErrUnknownFeature indicates a feature name without a factory.
+	ErrUnknownFeature = errors.New("config: unknown feature")
+)
+
+// Pipeline is the JSON schema of a system-level configuration.
+type Pipeline struct {
+	// Name labels the pipeline.
+	Name string `json:"name"`
+	// Components to place in the graph. A component with a Type is
+	// instantiated from the registry; one without refers to a pre-built
+	// instance supplied to the Loader (sensors bound to hardware,
+	// application sinks).
+	Components []ComponentDef `json:"components"`
+	// Connections wires output ports to input ports.
+	Connections []ConnectionDef `json:"connections"`
+	// Features attaches Component Features by factory name.
+	Features []FeatureDef `json:"features,omitempty"`
+	// Resolve, when true, runs registry dependency resolution for any
+	// input ports the explicit connections left open.
+	Resolve bool `json:"resolve,omitempty"`
+}
+
+// ComponentDef places one component.
+type ComponentDef struct {
+	ID   string `json:"id"`
+	Type string `json:"type,omitempty"`
+}
+
+// ConnectionDef wires from's output to to's input port.
+type ConnectionDef struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Port int    `json:"port"`
+}
+
+// FeatureDef attaches a feature to a component.
+type FeatureDef struct {
+	Component string `json:"component"`
+	Feature   string `json:"feature"`
+}
+
+// Parse reads a Pipeline from JSON.
+func Parse(r io.Reader) (Pipeline, error) {
+	var p Pipeline
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Pipeline{}, fmt.Errorf("config: parse pipeline: %w", err)
+	}
+	return p, nil
+}
+
+// Loader builds graphs from pipeline definitions.
+type Loader struct {
+	// Registry supplies component types (may be nil if every component
+	// is a pre-built instance).
+	Registry *registry.Registry
+	// Instances are pre-built components referenced by ID when a
+	// ComponentDef has no Type.
+	Instances map[string]core.Component
+	// Features maps feature names to factories.
+	Features map[string]func() core.Feature
+}
+
+// Build places, wires and augments the pipeline into g.
+func (l *Loader) Build(g *core.Graph, p Pipeline) error {
+	for _, def := range p.Components {
+		comp, err := l.instantiate(def)
+		if err != nil {
+			return err
+		}
+		if _, err := g.Add(comp); err != nil {
+			return fmt.Errorf("config: add %q: %w", def.ID, err)
+		}
+	}
+	for _, def := range p.Features {
+		factory, ok := l.Features[def.Feature]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownFeature, def.Feature)
+		}
+		node, ok := g.Node(def.Component)
+		if !ok {
+			return fmt.Errorf("config: feature %q: component %q not in graph", def.Feature, def.Component)
+		}
+		if err := node.AttachFeature(factory()); err != nil {
+			return fmt.Errorf("config: attach %q to %q: %w", def.Feature, def.Component, err)
+		}
+	}
+	for _, c := range p.Connections {
+		if err := g.Connect(c.From, c.To, c.Port); err != nil {
+			return fmt.Errorf("config: connect %s -> %s:%d: %w", c.From, c.To, c.Port, err)
+		}
+	}
+	if p.Resolve {
+		if l.Registry == nil {
+			return fmt.Errorf("config: pipeline requests resolution but loader has no registry")
+		}
+		if _, err := l.Registry.Resolve(g); err != nil {
+			return fmt.Errorf("config: resolve: %w", err)
+		}
+	}
+	return nil
+}
+
+func (l *Loader) instantiate(def ComponentDef) (core.Component, error) {
+	if def.Type == "" {
+		comp, ok := l.Instances[def.ID]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownInstance, def.ID)
+		}
+		return comp, nil
+	}
+	if l.Registry == nil {
+		return nil, fmt.Errorf("%w: %q (loader has no registry)", ErrUnknownType, def.Type)
+	}
+	reg, ok := l.Registry.Lookup(def.Type)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownType, def.Type)
+	}
+	return reg.New(def.ID), nil
+}

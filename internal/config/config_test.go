@@ -1,0 +1,190 @@
+package config
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"perpos/internal/building"
+	"perpos/internal/catalog"
+	"perpos/internal/core"
+	"perpos/internal/geo"
+	"perpos/internal/gps"
+	"perpos/internal/positioning"
+	"perpos/internal/trace"
+)
+
+var testOrigin = geo.Point{Lat: 56.1629, Lon: 10.2039}
+
+// fig1JSON is the GPS half of Fig. 1 as a system-level configuration,
+// with the satellite feature attached declaratively.
+const fig1JSON = `{
+  "name": "fig1-gps",
+  "components": [
+    {"id": "gps"},
+    {"id": "parser", "type": "Parser"},
+    {"id": "interpreter", "type": "Interpreter"},
+    {"id": "app"}
+  ],
+  "connections": [
+    {"from": "gps", "to": "parser", "port": 0},
+    {"from": "parser", "to": "interpreter", "port": 0},
+    {"from": "interpreter", "to": "app", "port": 0}
+  ],
+  "features": [
+    {"component": "parser", "feature": "satellites"}
+  ]
+}`
+
+func newLoader(t *testing.T) (*Loader, *core.Sink) {
+	t.Helper()
+	reg, err := catalog.Standard(catalog.Deps{Building: building.Evaluation()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.OutdoorTrack(testOrigin, 1, 2, 100, 1.4, time.Second)
+	sink := core.NewSink("app", []core.Kind{positioning.KindPosition})
+	return &Loader{
+		Registry: reg,
+		Instances: map[string]core.Component{
+			"gps": gps.NewReceiver("gps", tr, gps.Config{Seed: 2, ColdStart: time.Second}),
+			"app": sink,
+		},
+		Features: map[string]func() core.Feature{
+			"satellites": func() core.Feature { return gps.NewSatellitesFeature() },
+			"hdop":       func() core.Feature { return gps.NewHDOPFeature() },
+		},
+	}, sink
+}
+
+func TestParseAndBuildFig1(t *testing.T) {
+	p, err := Parse(strings.NewReader(fig1JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "fig1-gps" || len(p.Components) != 4 || len(p.Connections) != 3 {
+		t.Fatalf("parsed = %+v", p)
+	}
+
+	loader, sink := newLoader(t)
+	g := core.New()
+	if err := loader.Build(g, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The declaratively attached feature is live.
+	parserNode, _ := g.Node("parser")
+	if !parserNode.HasCapability(gps.FeatureSatellites) {
+		t.Error("satellites feature not attached")
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() == 0 {
+		t.Error("configured pipeline delivered nothing")
+	}
+	for _, s := range sink.Received() {
+		if _, ok := s.IntAttr(gps.AttrSatellites); !ok {
+			t.Error("positions missing the feature-attached satellite count")
+			break
+		}
+	}
+}
+
+func TestBuildWithResolution(t *testing.T) {
+	// Only endpoints declared; `resolve` fills the middle from the
+	// registry.
+	const partial = `{
+      "name": "partial",
+      "components": [{"id": "gps"}, {"id": "app"}],
+      "connections": [],
+      "resolve": true
+    }`
+	p, err := Parse(strings.NewReader(partial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, sink := newLoader(t)
+	g := core.New()
+	if err := loader.Build(g, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() == 0 {
+		t.Error("resolved pipeline delivered nothing")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	loader, _ := newLoader(t)
+
+	tests := []struct {
+		name string
+		json string
+		want error
+	}{
+		{
+			"unknown type",
+			`{"components": [{"id": "x", "type": "Nope"}]}`,
+			ErrUnknownType,
+		},
+		{
+			"unknown instance",
+			`{"components": [{"id": "ghost"}]}`,
+			ErrUnknownInstance,
+		},
+		{
+			"unknown feature",
+			`{"components": [{"id": "gps"}], "features": [{"component": "gps", "feature": "warp"}]}`,
+			ErrUnknownFeature,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, err := Parse(strings.NewReader(tt.json))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := core.New()
+			if err := loader.Build(g, p); !errors.Is(err, tt.want) {
+				t.Errorf("error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+
+	t.Run("bad connection", func(t *testing.T) {
+		p, err := Parse(strings.NewReader(
+			`{"components": [{"id": "gps"}, {"id": "app"}],
+			  "connections": [{"from": "gps", "to": "app", "port": 5}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := core.New()
+		if err := loader.Build(g, p); err == nil {
+			t.Error("bad port accepted")
+		}
+	})
+
+	t.Run("unknown json field", func(t *testing.T) {
+		if _, err := Parse(strings.NewReader(`{"nope": 1}`)); err == nil {
+			t.Error("unknown field accepted")
+		}
+	})
+
+	t.Run("resolution without registry", func(t *testing.T) {
+		l := &Loader{Instances: loader.Instances}
+		p := Pipeline{Components: []ComponentDef{{ID: "gps"}}, Resolve: true}
+		g := core.New()
+		if err := l.Build(g, p); err == nil {
+			t.Error("resolution without registry accepted")
+		}
+	})
+}

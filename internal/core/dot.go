@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for external
+// visualization — sources as house shapes, sinks as double circles,
+// merges as diamonds, with attached features listed under each
+// component name. It complements the inspection API for tooling that
+// wants a picture of the reified process.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "perpos"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [fontname=\"monospace\"];\n", name)
+	for _, n := range g.Nodes() {
+		spec := n.Spec()
+		shape := "box"
+		switch {
+		case spec.IsSource():
+			shape = "house"
+		case spec.IsSink():
+			shape = "doublecircle"
+		case spec.IsMerge():
+			shape = "diamond"
+		}
+		// The label is emitted unquoted-by-%q so the DOT "\n" escape
+		// survives; component IDs and feature names contain no quotes.
+		label := n.ID()
+		if features := n.Capabilities(); len(features) > 0 {
+			label += `\n[` + strings.Join(features, ", ") + "]"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s, label=\"%s\"];\n", n.ID(), shape, label)
+	}
+	for _, e := range g.Edges() {
+		toNode, _ := g.Node(e.To)
+		kindLabel := ""
+		if toNode != nil && e.Port < len(toNode.Spec().Inputs) {
+			from, _ := g.Node(e.From)
+			if from != nil {
+				kindLabel = string(from.Spec().Output.Kind)
+			}
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", e.From, e.To, kindLabel)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

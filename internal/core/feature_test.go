@@ -1,0 +1,395 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// scaleFeature doubles integer payloads on the way out of its host —
+// a "changing produced data" feature (§2.1).
+type scaleFeature struct {
+	factor int
+}
+
+func (scaleFeature) FeatureName() string { return "scale" }
+
+func (f scaleFeature) Produce(out Sample) (Sample, bool) {
+	out.Payload = out.Payload.(int) * f.factor
+	return out, true
+}
+
+// clampFeature rewrites incoming payloads — a consume-side hook.
+type clampFeature struct{ max int }
+
+func (clampFeature) FeatureName() string { return "clamp" }
+
+func (f clampFeature) Consume(_ int, in Sample) (Sample, bool) {
+	if v := in.Payload.(int); v > f.max {
+		in.Payload = f.max
+	}
+	return in, true
+}
+
+// dropFeature suppresses samples matching pred at consume time.
+type dropFeature struct{ pred func(Sample) bool }
+
+func (dropFeature) FeatureName() string { return "drop" }
+
+func (f dropFeature) Consume(_ int, in Sample) (Sample, bool) {
+	return in, !f.pred(in)
+}
+
+// retypeFeature tries to illegally change the output kind.
+type retypeFeature struct{}
+
+func (retypeFeature) FeatureName() string { return "retype" }
+
+func (retypeFeature) Produce(out Sample) (Sample, bool) {
+	out.Kind = "evil.kind"
+	return out, true
+}
+
+// annotator attaches an attribute to outgoing samples — the
+// attribute-riding variant of "adding data" used by the HDOP feature.
+type annotator struct {
+	key   string
+	value any
+}
+
+func (a annotator) FeatureName() string { return a.key }
+
+func (a annotator) Produce(out Sample) (Sample, bool) {
+	return out.WithAttr(a.key, a.value), true
+}
+
+// sideEmitter emits an extra sample through the host's port whenever the
+// host produces one — the paper's produce(data) "adding data" mechanism.
+type sideEmitter struct {
+	name string
+	kind Kind
+	host FeatureHost
+
+	emitNext []any
+}
+
+func (s *sideEmitter) FeatureName() string { return s.name }
+
+func (s *sideEmitter) Bind(host FeatureHost) { s.host = host }
+
+func (s *sideEmitter) Produce(out Sample) (Sample, bool) {
+	for _, payload := range s.emitNext {
+		s.host.EmitFeatureData(NewSample(s.kind, payload, out.Time))
+	}
+	s.emitNext = nil
+	return out, true
+}
+
+// statefulFeature exposes host component state through a custom
+// interface — the "changing component state" augmentation. Callers
+// type-assert to Thresholder.
+type statefulFeature struct {
+	threshold int
+}
+
+// Thresholder is the functional interface callers assert the feature to
+// (the Fig. 5 getFeature(...).getHDOP() pattern).
+type Thresholder interface {
+	Threshold() int
+	SetThreshold(int)
+}
+
+func (f *statefulFeature) FeatureName() string { return "threshold" }
+func (f *statefulFeature) Threshold() int      { return f.threshold }
+func (f *statefulFeature) SetThreshold(v int)  { f.threshold = v }
+
+func TestProduceHookRewritesData(t *testing.T) {
+	g, sink := buildLinear(t, 3)
+	mid, _ := g.Node("mid")
+	if err := mid.AttachFeature(scaleFeature{factor: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sink.Received() {
+		if want := i * 10; s.Payload.(int) != want {
+			t.Errorf("sample %d payload = %v, want %d", i, s.Payload, want)
+		}
+	}
+}
+
+func TestConsumeHookRewritesData(t *testing.T) {
+	g, sink := buildLinear(t, 5)
+	mid, _ := g.Node("mid")
+	if err := mid.AttachFeature(clampFeature{max: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sink.Received() {
+		want := i
+		if want > 2 {
+			want = 2
+		}
+		if s.Payload.(int) != want {
+			t.Errorf("sample %d payload = %v, want %d", i, s.Payload, want)
+		}
+	}
+}
+
+func TestConsumeHookDropsData(t *testing.T) {
+	g, sink := buildLinear(t, 6)
+	mid, _ := g.Node("mid")
+	err := mid.AttachFeature(dropFeature{pred: func(s Sample) bool {
+		return s.Payload.(int)%2 == 1
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 3 {
+		t.Fatalf("sink received %d, want 3", sink.Len())
+	}
+	for _, s := range sink.Received() {
+		if s.Payload.(int)%2 == 1 {
+			t.Errorf("odd payload %v leaked", s.Payload)
+		}
+	}
+}
+
+func TestProduceHookCannotChangeKind(t *testing.T) {
+	g, sink := buildLinear(t, 1)
+	mid, _ := g.Node("mid")
+	if err := mid.AttachFeature(retypeFeature{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := sink.Last()
+	if !ok {
+		t.Fatal("no sample delivered")
+	}
+	if got.Kind != kindPos {
+		t.Errorf("kind = %q, want %q (feature kind changes must be reverted)", got.Kind, kindPos)
+	}
+}
+
+func TestAttributeAnnotation(t *testing.T) {
+	g, sink := buildLinear(t, 2)
+	mid, _ := g.Node("mid")
+	if err := mid.AttachFeature(annotator{key: "hdop", value: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sink.Received() {
+		v, ok := s.FloatAttr("hdop")
+		if !ok || v != 1.5 {
+			t.Errorf("sample %d hdop = %v/%v, want 1.5/true", i, v, ok)
+		}
+	}
+}
+
+func TestFeatureEmittedDataRequiresDeclaration(t *testing.T) {
+	// Feature-added data is only propagated when the downstream port
+	// declares that it accepts input from that Component Feature.
+	base := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	build := func(t *testing.T, acceptFeature bool) (*Graph, *Sink) {
+		t.Helper()
+		g := New()
+		mustAdd(t, g, &SliceSource{
+			CompID:  "src",
+			Out:     OutputSpec{Kind: kindRaw},
+			Samples: []Sample{NewSample(kindRaw, 1, base)},
+		})
+		srcNode, _ := g.Node("src")
+		side := &sideEmitter{name: "extra", kind: kindMid, emitNext: []any{99}}
+		if err := srcNode.AttachFeature(side); err != nil {
+			t.Fatal(err)
+		}
+		var opts []SinkOption
+		if acceptFeature {
+			opts = append(opts, WithAcceptedFeatures("extra"))
+		}
+		sink := NewSink("app", []Kind{kindRaw}, opts...)
+		mustAdd(t, g, sink)
+		if err := g.Connect("src", "app", 0); err != nil {
+			t.Fatal(err)
+		}
+		return g, sink
+	}
+
+	t.Run("declared", func(t *testing.T) {
+		g, sink := build(t, true)
+		if _, err := g.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		// Both the component sample and the feature-emitted sample land.
+		if sink.Len() != 2 {
+			t.Fatalf("sink received %d, want 2", sink.Len())
+		}
+		var sawFeature bool
+		for _, s := range sink.Received() {
+			if s.FromFeature == "extra" {
+				sawFeature = true
+				if s.Kind != kindMid || s.Payload.(int) != 99 {
+					t.Errorf("feature sample = %v", s)
+				}
+				if s.Source != "src" {
+					t.Errorf("feature sample source = %q, want src (as if produced by the component)", s.Source)
+				}
+			}
+		}
+		if !sawFeature {
+			t.Error("feature-emitted sample not delivered")
+		}
+	})
+
+	t.Run("undeclared", func(t *testing.T) {
+		g, sink := build(t, false)
+		if _, err := g.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if sink.Len() != 1 {
+			t.Fatalf("sink received %d, want 1 (feature data filtered)", sink.Len())
+		}
+		if got, _ := sink.Last(); got.FromFeature != "" {
+			t.Errorf("unexpected feature sample %v", got)
+		}
+	})
+}
+
+func TestStateAccessFeature(t *testing.T) {
+	g, _ := buildLinear(t, 1)
+	mid, _ := g.Node("mid")
+	if err := mid.AttachFeature(&statefulFeature{threshold: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	f, ok := mid.Feature("threshold")
+	if !ok {
+		t.Fatal("feature not found")
+	}
+	th, ok := f.(Thresholder)
+	if !ok {
+		t.Fatalf("feature %T does not implement Thresholder", f)
+	}
+	if th.Threshold() != 4 {
+		t.Errorf("Threshold() = %d, want 4", th.Threshold())
+	}
+	th.SetThreshold(9)
+	f2, _ := mid.Feature("threshold")
+	if f2.(Thresholder).Threshold() != 9 {
+		t.Error("state change not visible through second lookup")
+	}
+}
+
+func TestAttachDuplicateFeature(t *testing.T) {
+	g, _ := buildLinear(t, 1)
+	mid, _ := g.Node("mid")
+	if err := mid.AttachFeature(staticFeature{name: "f"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.AttachFeature(staticFeature{name: "f"}); !errors.Is(err, ErrFeatureExists) {
+		t.Errorf("error = %v, want ErrFeatureExists", err)
+	}
+}
+
+func TestDetachFeature(t *testing.T) {
+	g, sink := buildLinear(t, 1)
+	mid, _ := g.Node("mid")
+	if err := mid.AttachFeature(scaleFeature{factor: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.DetachFeature("scale"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := sink.Last()
+	if got.Payload.(int) != 0 {
+		t.Errorf("payload = %v, want 0 (feature detached)", got.Payload)
+	}
+	if err := mid.DetachFeature("scale"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double detach error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCapabilitiesIncludeAttachedFeatures(t *testing.T) {
+	g := New()
+	comp := &FuncComponent{
+		CompID: "c",
+		CompSpec: Spec{
+			Output: OutputSpec{Kind: kindRaw, Features: []string{"native"}},
+		},
+	}
+	n := mustAdd(t, g, comp)
+	if err := n.AttachFeature(staticFeature{name: "added"}); err != nil {
+		t.Fatal(err)
+	}
+	caps := n.Capabilities()
+	want := []string{"added", "native"}
+	if len(caps) != 2 || caps[0] != want[0] || caps[1] != want[1] {
+		t.Errorf("Capabilities() = %v, want %v", caps, want)
+	}
+	if !n.HasCapability("native") || !n.HasCapability("added") {
+		t.Error("HasCapability should report both")
+	}
+	if n.HasCapability("missing") {
+		t.Error("HasCapability reported a missing feature")
+	}
+}
+
+func TestFeatureHooksRunInAttachOrder(t *testing.T) {
+	g, sink := buildLinear(t, 1)
+	mid, _ := g.Node("mid")
+	// (0+5)*10 = 50 if addFive attaches first; 0*10+5 = 5 otherwise.
+	if err := mid.AttachFeature(offsetFeature{name: "addFive", delta: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.AttachFeature(scaleFeature{factor: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := sink.Last()
+	if got.Payload.(int) != 50 {
+		t.Errorf("payload = %v, want 50 (attach-order hook execution)", got.Payload)
+	}
+}
+
+type offsetFeature struct {
+	name  string
+	delta int
+}
+
+func (f offsetFeature) FeatureName() string { return f.name }
+
+func (f offsetFeature) Produce(out Sample) (Sample, bool) {
+	out.Payload = out.Payload.(int) + f.delta
+	return out, true
+}
+
+func TestFeaturesListCopies(t *testing.T) {
+	g, _ := buildLinear(t, 1)
+	mid, _ := g.Node("mid")
+	if err := mid.AttachFeature(staticFeature{name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	fs := mid.Features()
+	if len(fs) != 1 {
+		t.Fatalf("Features() = %d entries, want 1", len(fs))
+	}
+	fs[0] = staticFeature{name: "tampered"}
+	if _, ok := mid.Feature("a"); !ok {
+		t.Error("mutating the returned slice affected internal state")
+	}
+}

@@ -1,0 +1,546 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// TapFunc observes every sample emitted anywhere in the graph. Taps are
+// how the Process Channel Layer maintains its causal connection to the
+// positioning process. Taps run on the emitting goroutine and must be
+// fast and thread-safe when the async engine is used.
+type TapFunc func(componentID string, s Sample)
+
+// Edge describes one connection for inspection.
+type Edge struct {
+	From string
+	To   string
+	Port int
+}
+
+// Graph is the reified positioning process: Processing Components wired
+// from sensors (sources) toward the application (sink). It supports the
+// paper's PSL operations — insert, delete, connect, feature attachment —
+// plus synchronous propagation for deterministic runs.
+//
+// Concurrency contract: structural mutation (Add/Connect/Remove/attach)
+// must not run concurrently with propagation (Inject/Step*). The
+// asynchronous Runner freezes the structure while running.
+type Graph struct {
+	mu    sync.RWMutex
+	nodes map[string]*Node
+	order []string // insertion order, for deterministic iteration
+
+	tapMu sync.RWMutex
+	taps  map[int]TapFunc
+	tapID int
+
+	errMu sync.Mutex
+	errs  []error
+
+	running atomic.Bool
+	// deliver is installed by a running async Runner; nil means
+	// synchronous direct-call propagation. Written only while no
+	// propagation is in flight.
+	deliver asyncDeliver
+}
+
+// setAsync installs (or removes, with nil) the async delivery hook and
+// flips the running flag that freezes graph structure.
+func (g *Graph) setAsync(d asyncDeliver) {
+	g.deliver = d
+	g.running.Store(d != nil)
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		nodes: make(map[string]*Node),
+		taps:  make(map[int]TapFunc),
+	}
+}
+
+// Add registers a component as a new node. The component's ID must be
+// unique and its spec well-formed.
+func (g *Graph) Add(c Component) (*Node, error) {
+	if err := validateSpec(c); err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.running.Load() {
+		return nil, ErrRunning
+	}
+	id := c.ID()
+	if _, exists := g.nodes[id]; exists {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateID, id)
+	}
+	n := &Node{
+		graph:   g,
+		comp:    c,
+		spec:    c.Spec(),
+		inbound: make([]*Node, len(c.Spec().Inputs)),
+	}
+	g.nodes[id] = n
+	g.order = append(g.order, id)
+	return n, nil
+}
+
+func validateSpec(c Component) error {
+	if c.ID() == "" {
+		return fmt.Errorf("%w: empty component id", ErrInvalidSpec)
+	}
+	spec := c.Spec()
+	for i, in := range spec.Inputs {
+		if len(in.Accepts) == 0 && len(in.AcceptsFeatures) == 0 {
+			return fmt.Errorf("%w: %q input port %d accepts nothing",
+				ErrInvalidSpec, c.ID(), i)
+		}
+	}
+	return nil
+}
+
+// Node returns the node with the given component ID.
+func (g *Graph) Node(id string) (*Node, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n, ok := g.nodes[id]
+	return n, ok
+}
+
+// Nodes returns all nodes in insertion order.
+func (g *Graph) Nodes() []*Node {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ns := make([]*Node, 0, len(g.order))
+	for _, id := range g.order {
+		ns = append(ns, g.nodes[id])
+	}
+	return ns
+}
+
+// Sources returns the nodes whose specs declare no inputs (the sensors
+// and emulators — the leaves of the paper's processing tree).
+func (g *Graph) Sources() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes() {
+		if n.spec.IsSource() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Sinks returns the nodes with no output kind (application roots).
+func (g *Graph) Sinks() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes() {
+		if n.spec.IsSink() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Edges returns every connection in the graph in deterministic order.
+func (g *Graph) Edges() []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Edge
+	for _, id := range g.order {
+		n := g.nodes[id]
+		for _, e := range n.out {
+			out = append(out, Edge{From: id, To: e.to.ID(), Port: e.port})
+		}
+	}
+	return out
+}
+
+// Connect wires from's output port to input port `port` of to. It
+// validates port range and availability, kind compatibility, required
+// features (paper §2.1 requirement/capability matching) and acyclicity.
+func (g *Graph) Connect(fromID, toID string, port int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.running.Load() {
+		return ErrRunning
+	}
+	from, ok := g.nodes[fromID]
+	if !ok {
+		return fmt.Errorf("%w: component %q", ErrNotFound, fromID)
+	}
+	to, ok := g.nodes[toID]
+	if !ok {
+		return fmt.Errorf("%w: component %q", ErrNotFound, toID)
+	}
+	if port < 0 || port >= len(to.spec.Inputs) {
+		return fmt.Errorf("%w: %q port %d (component has %d input ports)",
+			ErrPortIndex, toID, port, len(to.spec.Inputs))
+	}
+	if to.inbound[port] != nil {
+		return fmt.Errorf("%w: %q port %d", ErrPortBusy, toID, port)
+	}
+	in := to.spec.Inputs[port]
+	if err := checkCompatible(from, in); err != nil {
+		return fmt.Errorf("connect %q -> %q port %d: %w", fromID, toID, port, err)
+	}
+	if g.reaches(to, from) {
+		return fmt.Errorf("%w: %q -> %q", ErrCycle, fromID, toID)
+	}
+	from.out = append(from.out, edge{to: to, port: port})
+	to.inbound[port] = from
+	return nil
+}
+
+// checkCompatible validates kinds and required features of a prospective
+// connection. Called with g.mu held.
+func checkCompatible(from *Node, in PortSpec) error {
+	kindOK := in.accepts(from.spec.Output.Kind)
+	if !kindOK {
+		for _, k := range from.spec.Output.ExtraKinds {
+			if in.accepts(k) {
+				kindOK = true
+				break
+			}
+		}
+	}
+	// A port that only wants feature-emitted data is satisfied when the
+	// upstream provides those features.
+	if !kindOK && len(in.AcceptsFeatures) > 0 {
+		kindOK = true
+		for _, f := range in.AcceptsFeatures {
+			if !hasCapabilityLocked(from, f) {
+				kindOK = false
+				break
+			}
+		}
+	}
+	if !kindOK {
+		return fmt.Errorf("%w: output %q not in %v", ErrKindMismatch,
+			from.spec.Output.Kind, in.Accepts)
+	}
+	for _, f := range in.RequiresFeatures {
+		if !hasCapabilityLocked(from, f) {
+			return fmt.Errorf("%w: %q", ErrMissingFeature, f)
+		}
+	}
+	return nil
+}
+
+func hasCapabilityLocked(n *Node, name string) bool {
+	for _, c := range n.spec.Output.Features {
+		if c == name {
+			return true
+		}
+	}
+	for _, f := range n.features {
+		if f.FeatureName() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// reaches reports whether to is reachable from from by following output
+// edges. Called with g.mu held.
+func (g *Graph) reaches(from, to *Node) bool {
+	if from == to {
+		return true
+	}
+	for _, e := range from.out {
+		if g.reaches(e.to, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// Disconnect removes the edge from -> to at the given input port.
+func (g *Graph) Disconnect(fromID, toID string, port int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.running.Load() {
+		return ErrRunning
+	}
+	from, ok := g.nodes[fromID]
+	if !ok {
+		return fmt.Errorf("%w: component %q", ErrNotFound, fromID)
+	}
+	to, ok := g.nodes[toID]
+	if !ok {
+		return fmt.Errorf("%w: component %q", ErrNotFound, toID)
+	}
+	for i, e := range from.out {
+		if e.to == to && e.port == port {
+			from.out = append(from.out[:i], from.out[i+1:]...)
+			to.inbound[port] = nil
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: edge %q -> %q port %d", ErrNotFound, fromID, toID, port)
+}
+
+// Remove deletes a component from the graph, disconnecting all of its
+// edges first.
+func (g *Graph) Remove(id string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.running.Load() {
+		return ErrRunning
+	}
+	n, ok := g.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: component %q", ErrNotFound, id)
+	}
+	// Drop outgoing edges.
+	for _, e := range n.out {
+		e.to.inbound[e.port] = nil
+	}
+	n.out = nil
+	// Drop incoming edges.
+	for _, other := range g.nodes {
+		if other == n {
+			continue
+		}
+		kept := other.out[:0]
+		for _, e := range other.out {
+			if e.to != n {
+				kept = append(kept, e)
+			}
+		}
+		other.out = kept
+	}
+	delete(g.nodes, id)
+	for i, oid := range g.order {
+		if oid == id {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// InsertBetween splices a new component into an existing edge
+// from -> to (at to's input port toPort): the edge is replaced by
+// from -> c (input port cInPort) -> to. This is the §3.1 operation used
+// to insert the satellite filter after the Parser.
+func (g *Graph) InsertBetween(c Component, fromID, toID string, toPort, cInPort int) error {
+	if _, err := g.Add(c); err != nil {
+		return err
+	}
+	if err := g.Disconnect(fromID, toID, toPort); err != nil {
+		rollbackErr := g.Remove(c.ID())
+		return errors.Join(err, rollbackErr)
+	}
+	if err := g.Connect(fromID, c.ID(), cInPort); err != nil {
+		return errors.Join(err, g.Connect(fromID, toID, toPort), g.Remove(c.ID()))
+	}
+	if err := g.Connect(c.ID(), toID, toPort); err != nil {
+		return errors.Join(err,
+			g.Disconnect(fromID, c.ID(), cInPort),
+			g.Connect(fromID, toID, toPort),
+			g.Remove(c.ID()))
+	}
+	return nil
+}
+
+// Tap registers an observer for every emission in the graph and returns
+// a cancel function.
+func (g *Graph) Tap(fn TapFunc) (cancel func()) {
+	g.tapMu.Lock()
+	defer g.tapMu.Unlock()
+	id := g.tapID
+	g.tapID++
+	g.taps[id] = fn
+	return func() {
+		g.tapMu.Lock()
+		defer g.tapMu.Unlock()
+		delete(g.taps, id)
+	}
+}
+
+func (g *Graph) notifyTaps(componentID string, s Sample) {
+	g.tapMu.RLock()
+	defer g.tapMu.RUnlock()
+	for _, fn := range g.taps {
+		fn(componentID, s)
+	}
+}
+
+func (g *Graph) noteError(err error) {
+	g.errMu.Lock()
+	defer g.errMu.Unlock()
+	g.errs = append(g.errs, err)
+}
+
+// drainErrors returns and clears errors collected during propagation.
+func (g *Graph) drainErrors() error {
+	g.errMu.Lock()
+	defer g.errMu.Unlock()
+	if len(g.errs) == 0 {
+		return nil
+	}
+	err := errors.Join(g.errs...)
+	g.errs = nil
+	return err
+}
+
+// Inject emits a sample through the named component's output port as if
+// the component produced it, and synchronously propagates it through
+// the graph. This drives emulator and sensor components in tests and
+// deterministic experiment runs.
+func (g *Graph) Inject(id string, s Sample) error {
+	g.mu.RLock()
+	n, ok := g.nodes[id]
+	g.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: component %q", ErrNotFound, id)
+	}
+	n.emit(s, "")
+	return g.drainErrors()
+}
+
+// Deliver pushes a sample into the named component's input port and
+// synchronously propagates whatever it emits. It is the entry point
+// used by remote port bridges.
+func (g *Graph) Deliver(id string, port int, s Sample) error {
+	g.mu.RLock()
+	n, ok := g.nodes[id]
+	g.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: component %q", ErrNotFound, id)
+	}
+	if port < 0 || port >= len(n.spec.Inputs) {
+		return fmt.Errorf("%w: %q port %d", ErrPortIndex, id, port)
+	}
+	if err := n.process(port, s); err != nil {
+		g.noteError(err)
+	}
+	return g.drainErrors()
+}
+
+// StepSource drives the named Producer component for one tick,
+// propagating its emissions synchronously. It returns whether the
+// producer has more data.
+func (g *Graph) StepSource(id string) (bool, error) {
+	g.mu.RLock()
+	n, ok := g.nodes[id]
+	g.mu.RUnlock()
+	if !ok {
+		return false, fmt.Errorf("%w: component %q", ErrNotFound, id)
+	}
+	more, err := n.step()
+	if err != nil {
+		g.noteError(err)
+	}
+	return more, g.drainErrors()
+}
+
+// StepAll drives every Producer source once. It returns true while at
+// least one producer reports more data.
+func (g *Graph) StepAll() (bool, error) {
+	any := false
+	var errs []error
+	for _, n := range g.Sources() {
+		if _, ok := n.comp.(Producer); !ok {
+			continue
+		}
+		more, err := g.StepSource(n.ID())
+		if err != nil {
+			errs = append(errs, err)
+		}
+		if more {
+			any = true
+		}
+	}
+	return any, errors.Join(errs...)
+}
+
+// Validate checks the graph's structural integrity and returns every
+// problem found: unconnected input ports, components that cannot reach
+// a sink (their output is produced and dropped), and the absence of any
+// source or sink. A valid graph is a forest flowing from sensors to
+// applications, as the paper's processing-tree model requires.
+func (g *Graph) Validate() error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+
+	var errs []error
+	if len(g.nodes) == 0 {
+		return fmt.Errorf("%w: graph is empty", ErrInvalidSpec)
+	}
+	var haveSource, haveSink bool
+	for _, id := range g.order {
+		n := g.nodes[id]
+		if n.spec.IsSource() {
+			haveSource = true
+		}
+		if n.spec.IsSink() {
+			haveSink = true
+		}
+		for port, up := range n.inbound {
+			if up == nil {
+				errs = append(errs, fmt.Errorf("%w: %q input port %d (%s) unconnected",
+					ErrInvalidSpec, id, port, n.spec.Inputs[port].Name))
+			}
+		}
+	}
+	if !haveSource {
+		errs = append(errs, fmt.Errorf("%w: no source component", ErrInvalidSpec))
+	}
+	if !haveSink {
+		errs = append(errs, fmt.Errorf("%w: no sink component", ErrInvalidSpec))
+	}
+	// Reachability: every non-sink node must reach a sink along output
+	// edges, or its data is silently discarded.
+	for _, id := range g.order {
+		n := g.nodes[id]
+		if n.spec.IsSink() {
+			continue
+		}
+		if !g.reachesSink(n, make(map[*Node]bool)) {
+			errs = append(errs, fmt.Errorf("%w: %q cannot reach any sink", ErrInvalidSpec, id))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// reachesSink reports whether a sink is reachable from n. Called with
+// g.mu held.
+func (g *Graph) reachesSink(n *Node, seen map[*Node]bool) bool {
+	if n.spec.IsSink() {
+		return true
+	}
+	if seen[n] {
+		return false
+	}
+	seen[n] = true
+	for _, e := range n.out {
+		if g.reachesSink(e.to, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run drives all producer sources until every one is exhausted or
+// maxTicks is reached (maxTicks <= 0 means unbounded). It returns the
+// number of ticks executed.
+func (g *Graph) Run(maxTicks int) (int, error) {
+	ticks := 0
+	for {
+		if maxTicks > 0 && ticks >= maxTicks {
+			return ticks, nil
+		}
+		more, err := g.StepAll()
+		if err != nil {
+			return ticks, err
+		}
+		ticks++
+		if !more {
+			return ticks, nil
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFig4SpanSemantics reproduces the exact scenario of Fig. 4: a GPS
+// source emits 5 strings; a Parser needs several strings per NMEA
+// sentence (strings 1-2 -> NMEA1, strings 3-5 -> NMEA2); an Interpreter
+// needs a valid sentence and only produces a WGS84 position from NMEA2
+// after consuming NMEA1-NMEA2.
+func TestFig4SpanSemantics(t *testing.T) {
+	g := New()
+	base := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+
+	strings := make([]Sample, 5)
+	for i := range strings {
+		strings[i] = NewSample("gps.raw", i+1, base.Add(time.Duration(i)*time.Second))
+	}
+	mustAdd(t, g, &SliceSource{CompID: "gps", Out: OutputSpec{Kind: "gps.raw"}, Samples: strings})
+
+	// Parser: emits an "nmea" sample after consuming 2 then 3 strings.
+	parserBatch := []int{2, 3}
+	var consumed, batchIdx, sentenceNo int
+	parser := &FuncComponent{
+		CompID: "parser",
+		CompSpec: Spec{
+			Name:   "Parser",
+			Inputs: []PortSpec{{Name: "in", Accepts: []Kind{"gps.raw"}}},
+			Output: OutputSpec{Kind: "nmea"},
+		},
+		Fn: func(_ int, in Sample, emit Emit) error {
+			consumed++
+			if batchIdx < len(parserBatch) && consumed == parserBatch[batchIdx] {
+				consumed = 0
+				batchIdx++
+				sentenceNo++
+				emit(NewSample("nmea", sentenceNo, in.Time))
+			}
+			return nil
+		},
+	}
+	mustAdd(t, g, parser)
+
+	// Interpreter: first NMEA sentence is invalid; emits WGS84 only on
+	// the second.
+	var seen int
+	interp := &FuncComponent{
+		CompID: "interpreter",
+		CompSpec: Spec{
+			Name:   "Interpreter",
+			Inputs: []PortSpec{{Name: "in", Accepts: []Kind{"nmea"}}},
+			Output: OutputSpec{Kind: "wgs84"},
+		},
+		Fn: func(_ int, in Sample, emit Emit) error {
+			seen++
+			if seen == 2 {
+				emit(NewSample("wgs84", "position-1", in.Time))
+			}
+			return nil
+		},
+	}
+	mustAdd(t, g, interp)
+	sink := NewSink("app", []Kind{"wgs84"})
+	mustAdd(t, g, sink)
+
+	for _, c := range []struct {
+		from, to string
+	}{{"gps", "parser"}, {"parser", "interpreter"}, {"interpreter", "app"}} {
+		if err := g.Connect(c.from, c.to, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var nmeaSamples []Sample
+	cancelTap := g.Tap(func(id string, s Sample) {
+		if id == "parser" {
+			nmeaSamples = append(nmeaSamples, s)
+		}
+	})
+	defer cancelTap()
+
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// NMEA1: logical 1, span gps:1-2. NMEA2: logical 2, span gps:3-5.
+	if len(nmeaSamples) != 2 {
+		t.Fatalf("parser emitted %d samples, want 2", len(nmeaSamples))
+	}
+	assertSpan(t, nmeaSamples[0], 1, Span{Source: "gps", From: 1, To: 2})
+	assertSpan(t, nmeaSamples[1], 2, Span{Source: "gps", From: 3, To: 5})
+
+	// WGS841: logical 1, span parser:1-2.
+	got, ok := sink.Last()
+	if !ok {
+		t.Fatal("no WGS84 delivered")
+	}
+	assertSpan(t, got, 1, Span{Source: "parser", From: 1, To: 2})
+
+	// Source strings carry no spans ("N/A" in Fig. 4).
+	gpsNode, _ := g.Node("gps")
+	if gpsNode.Clock() != 5 {
+		t.Errorf("gps clock = %d, want 5", gpsNode.Clock())
+	}
+}
+
+func assertSpan(t *testing.T, s Sample, wantLogical LogicalTime, wantSpan Span) {
+	t.Helper()
+	if s.Logical != wantLogical {
+		t.Errorf("%v: logical = %d, want %d", s, s.Logical, wantLogical)
+	}
+	if len(s.Spans) != 1 {
+		t.Fatalf("%v: spans = %v, want exactly one", s, s.Spans)
+	}
+	if s.Spans[0] != wantSpan {
+		t.Errorf("%v: span = %v, want %v", s, s.Spans[0], wantSpan)
+	}
+}
+
+func TestSourceSamplesHaveNoSpans(t *testing.T) {
+	g, _ := buildLinear(t, 1)
+	var srcSample Sample
+	cancel := g.Tap(func(id string, s Sample) {
+		if id == "src" {
+			srcSample = s
+		}
+	})
+	defer cancel()
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(srcSample.Spans) != 0 {
+		t.Errorf("source sample spans = %v, want none", srcSample.Spans)
+	}
+	if srcSample.Logical != 1 {
+		t.Errorf("source logical = %d, want 1", srcSample.Logical)
+	}
+}
+
+func TestLogicalClockMonotonic(t *testing.T) {
+	g, _ := buildLinear(t, 10)
+	var last LogicalTime
+	cancel := g.Tap(func(id string, s Sample) {
+		if id != "mid" {
+			return
+		}
+		if s.Logical != last+1 {
+			t.Errorf("logical jumped from %d to %d", last, s.Logical)
+		}
+		last = s.Logical
+	})
+	defer cancel()
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if last != 10 {
+		t.Errorf("final logical = %d, want 10", last)
+	}
+}
+
+func TestMultiEmissionSharesSpan(t *testing.T) {
+	// A component emitting two samples from one input gives both the
+	// same span (they were produced from the same consumed window).
+	g := New()
+	mustAdd(t, g, source("src", 1))
+	dup := &FuncComponent{
+		CompID: "dup",
+		CompSpec: Spec{
+			Inputs: []PortSpec{{Name: "in", Accepts: []Kind{kindRaw}}},
+			Output: OutputSpec{Kind: kindPos},
+		},
+		Fn: func(_ int, in Sample, emit Emit) error {
+			emit(NewSample(kindPos, "a", in.Time))
+			emit(NewSample(kindPos, "b", in.Time))
+			return nil
+		},
+	}
+	mustAdd(t, g, dup)
+	sink := NewSink("app", []Kind{kindPos})
+	mustAdd(t, g, sink)
+	if err := g.Connect("src", "dup", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("dup", "app", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.Received()
+	if len(got) != 2 {
+		t.Fatalf("received %d, want 2", len(got))
+	}
+	want := Span{Source: "src", From: 1, To: 1}
+	for i, s := range got {
+		if len(s.Spans) != 1 || s.Spans[0] != want {
+			t.Errorf("sample %d span = %v, want %v", i, s.Spans, want)
+		}
+	}
+	if got[0].Logical != 1 || got[1].Logical != 2 {
+		t.Errorf("logical = %d,%d, want 1,2", got[0].Logical, got[1].Logical)
+	}
+}
+
+func TestMergeSpansTrackBothSources(t *testing.T) {
+	// A merge component consuming one sample from each source emits
+	// with spans referencing both upstream clocks.
+	g := New()
+	mustAdd(t, g, source("a", 1))
+	mustAdd(t, g, source("b", 1))
+	var pending int
+	merge := &FuncComponent{
+		CompID: "merge",
+		CompSpec: Spec{
+			Inputs: []PortSpec{
+				{Name: "a", Accepts: []Kind{kindRaw}},
+				{Name: "b", Accepts: []Kind{kindRaw}},
+			},
+			Output: OutputSpec{Kind: kindPos},
+		},
+		Fn: func(_ int, in Sample, emit Emit) error {
+			pending++
+			if pending == 2 {
+				emit(NewSample(kindPos, "fused", in.Time))
+			}
+			return nil
+		},
+	}
+	mustAdd(t, g, merge)
+	sink := NewSink("app", []Kind{kindPos})
+	mustAdd(t, g, sink)
+	if err := g.Connect("a", "merge", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("b", "merge", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("merge", "app", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := sink.Last()
+	if !ok {
+		t.Fatal("nothing delivered")
+	}
+	if len(got.Spans) != 2 {
+		t.Fatalf("spans = %v, want two sources", got.Spans)
+	}
+	// Deterministic order: sorted by source ID.
+	if got.Spans[0].Source != "a" || got.Spans[1].Source != "b" {
+		t.Errorf("span sources = %v, want [a b]", got.Spans)
+	}
+}
+
+func TestSpanWindowResetsAfterEmission(t *testing.T) {
+	// After an emission, newly consumed samples start a fresh window —
+	// otherwise NMEA2 in Fig. 4 would carry span 1-5 instead of 3-5.
+	g := New()
+	mustAdd(t, g, source("src", 4))
+	var count int
+	pair := &FuncComponent{
+		CompID: "pair",
+		CompSpec: Spec{
+			Inputs: []PortSpec{{Name: "in", Accepts: []Kind{kindRaw}}},
+			Output: OutputSpec{Kind: kindPos},
+		},
+		Fn: func(_ int, in Sample, emit Emit) error {
+			count++
+			if count%2 == 0 {
+				emit(NewSample(kindPos, count, in.Time))
+			}
+			return nil
+		},
+	}
+	mustAdd(t, g, pair)
+	sink := NewSink("app", []Kind{kindPos})
+	mustAdd(t, g, sink)
+	if err := g.Connect("src", "pair", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("pair", "app", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.Received()
+	if len(got) != 2 {
+		t.Fatalf("received %d, want 2", len(got))
+	}
+	wantSpans := []Span{
+		{Source: "src", From: 1, To: 2},
+		{Source: "src", From: 3, To: 4},
+	}
+	for i, s := range got {
+		if len(s.Spans) != 1 || s.Spans[0] != wantSpans[i] {
+			t.Errorf("sample %d span = %v, want %v", i, s.Spans, wantSpans[i])
+		}
+	}
+}

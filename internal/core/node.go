@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node wraps a Component inside a Graph: it owns the component's
+// attached Component Features, its logical clock, the span bookkeeping
+// that feeds the Process Channel Layer's data trees, and its outgoing
+// edges.
+//
+// Nodes are created by Graph.Add and must only be mutated through Graph
+// and Node methods.
+type Node struct {
+	graph *Graph
+	comp  Component
+	spec  Spec // cached; Spec must be constant
+
+	// features in attach order (hook order is attach order).
+	features []Feature
+
+	// out lists downstream connections from this node's output port.
+	out []edge
+	// inbound[port] is the upstream node connected to each input port,
+	// or nil when unconnected.
+	inbound []*Node
+
+	// clock is the component's logical clock: number of emissions.
+	clock LogicalTime
+	// pending tracks, per upstream source ID, the range of logical times
+	// consumed since the last emission (Fig. 4 span bookkeeping).
+	pending map[string]Span
+	// emitted marks that an emission happened after the last consume, so
+	// the next consume starts a fresh pending set.
+	emitted bool
+}
+
+// edge is one downstream connection: deliveries go to to's input port.
+type edge struct {
+	to   *Node
+	port int
+}
+
+// ID returns the wrapped component's ID.
+func (n *Node) ID() string { return n.comp.ID() }
+
+// Component returns the wrapped component, giving PSL clients access to
+// "all methods available on the implementing classes" (paper §2.1).
+func (n *Node) Component() Component { return n.comp }
+
+// Spec returns the component's declared spec.
+func (n *Node) Spec() Spec { return n.spec }
+
+// Clock returns the node's current logical time (number of emissions).
+func (n *Node) Clock() LogicalTime { return n.clock }
+
+// Capabilities returns the effective feature names provided at the
+// node's output port: the component's native features plus every
+// attached Component Feature.
+func (n *Node) Capabilities() []string {
+	caps := make([]string, 0, len(n.spec.Output.Features)+len(n.features))
+	caps = append(caps, n.spec.Output.Features...)
+	for _, f := range n.features {
+		caps = append(caps, f.FeatureName())
+	}
+	sort.Strings(caps)
+	return caps
+}
+
+// HasCapability reports whether the node's output provides the named
+// feature.
+func (n *Node) HasCapability(name string) bool {
+	for _, c := range n.spec.Output.Features {
+		if c == name {
+			return true
+		}
+	}
+	for _, f := range n.features {
+		if f.FeatureName() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// AttachFeature hooks a Component Feature into the node (paper §2.1).
+// The feature's name becomes part of the node's output capabilities.
+// Attaching two features with the same name is an error.
+func (n *Node) AttachFeature(f Feature) error {
+	n.graph.mu.Lock()
+	defer n.graph.mu.Unlock()
+	if n.HasCapability(f.FeatureName()) {
+		return fmt.Errorf("%w: %q on %q", ErrFeatureExists, f.FeatureName(), n.ID())
+	}
+	if b, ok := f.(BindableFeature); ok {
+		b.Bind(&featureHost{node: n, feature: f.FeatureName()})
+	}
+	n.features = append(n.features, f)
+	return nil
+}
+
+// DetachFeature removes the named attached feature. Native component
+// features cannot be detached.
+func (n *Node) DetachFeature(name string) error {
+	n.graph.mu.Lock()
+	defer n.graph.mu.Unlock()
+	for i, f := range n.features {
+		if f.FeatureName() == name {
+			n.features = append(n.features[:i], n.features[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: feature %q on %q", ErrNotFound, name, n.ID())
+}
+
+// Feature returns the attached or native feature with the given name.
+// Callers type-assert the result to the feature's functional interface —
+// the component "will to its surroundings appear to implement the
+// functionality provided by the feature".
+func (n *Node) Feature(name string) (Feature, bool) {
+	n.graph.mu.RLock()
+	defer n.graph.mu.RUnlock()
+	return n.featureLocked(name)
+}
+
+func (n *Node) featureLocked(name string) (Feature, bool) {
+	for _, f := range n.features {
+		if f.FeatureName() == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Features returns the attached features in attach order.
+func (n *Node) Features() []Feature {
+	n.graph.mu.RLock()
+	defer n.graph.mu.RUnlock()
+	fs := make([]Feature, len(n.features))
+	copy(fs, n.features)
+	return fs
+}
+
+// Upstream returns the node connected to each input port (nil entries
+// for unconnected ports).
+func (n *Node) Upstream() []*Node {
+	n.graph.mu.RLock()
+	defer n.graph.mu.RUnlock()
+	up := make([]*Node, len(n.inbound))
+	copy(up, n.inbound)
+	return up
+}
+
+// Downstream returns the nodes this node's output is connected to.
+func (n *Node) Downstream() []*Node {
+	n.graph.mu.RLock()
+	defer n.graph.mu.RUnlock()
+	ds := make([]*Node, len(n.out))
+	for i, e := range n.out {
+		ds[i] = e.to
+	}
+	return ds
+}
+
+// --- engine internals (called with graph.mu held for reading) ---
+
+// process delivers one sample to the node's input port: consume hooks,
+// span bookkeeping, then the component's Process. A panicking component
+// (or feature hook) is contained: the panic becomes an error instead of
+// taking the whole positioning process down — third-party Processing
+// Components are exactly the code the middleware cannot vouch for.
+func (n *Node) process(port int, s Sample) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("component %q: %w: %v", n.ID(), ErrPanicked, r)
+		}
+	}()
+	for _, f := range n.features {
+		hook, ok := f.(ConsumeHook)
+		if !ok {
+			continue
+		}
+		var keep bool
+		s, keep = hook.Consume(port, s)
+		if !keep {
+			return nil
+		}
+	}
+	n.noteConsumed(s)
+	if perr := n.comp.Process(port, s, n.emitFunc("")); perr != nil {
+		return fmt.Errorf("component %q: %w", n.ID(), perr)
+	}
+	return nil
+}
+
+// step drives a Producer source for one tick, with the same panic
+// containment as process.
+func (n *Node) step() (more bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("source %q: %w: %v", n.ID(), ErrPanicked, r)
+		}
+	}()
+	p, ok := n.comp.(Producer)
+	if !ok {
+		return false, fmt.Errorf("%w: %q is not a producer", ErrNotProducer, n.ID())
+	}
+	more, serr := p.Step(n.emitFunc(""))
+	if serr != nil {
+		return more, fmt.Errorf("source %q: %w", n.ID(), serr)
+	}
+	return more, nil
+}
+
+// noteConsumed extends the pending span set with one consumed sample.
+func (n *Node) noteConsumed(s Sample) {
+	if n.emitted {
+		// First consumption after an emission starts a new grouping
+		// window (Fig. 4: NMEA2's span starts after NMEA1's emission).
+		n.pending = nil
+		n.emitted = false
+	}
+	if s.Source == "" {
+		return
+	}
+	if n.pending == nil {
+		n.pending = make(map[string]Span, len(n.inbound))
+	}
+	sp, ok := n.pending[s.Source]
+	if !ok {
+		n.pending[s.Source] = Span{Source: s.Source, From: s.Logical, To: s.Logical}
+		return
+	}
+	if s.Logical < sp.From {
+		sp.From = s.Logical
+	}
+	if s.Logical > sp.To {
+		sp.To = s.Logical
+	}
+	n.pending[s.Source] = sp
+}
+
+// currentSpans snapshots the pending spans in deterministic order.
+func (n *Node) currentSpans() []Span {
+	if len(n.pending) == 0 {
+		return nil
+	}
+	spans := make([]Span, 0, len(n.pending))
+	for _, sp := range n.pending {
+		spans = append(spans, sp)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Source < spans[j].Source })
+	return spans
+}
+
+// emitFunc returns the Emit closure for this node. fromFeature is the
+// feature name for feature-emitted data, or "" for component output.
+func (n *Node) emitFunc(fromFeature string) Emit {
+	return func(s Sample) {
+		n.emit(s, fromFeature)
+	}
+}
+
+// emit stamps and propagates one output sample.
+func (n *Node) emit(s Sample, fromFeature string) {
+	if fromFeature == "" {
+		// Produce hooks may rewrite (but not retype) or suppress the
+		// emission. Feature-emitted data bypasses produce hooks to avoid
+		// feedback through the feature that created it.
+		kind := s.Kind
+		for _, f := range n.features {
+			hook, ok := f.(ProduceHook)
+			if !ok {
+				continue
+			}
+			var keep bool
+			s, keep = hook.Produce(s)
+			if !keep {
+				return
+			}
+			if s.Kind != kind {
+				// Enforce the paper's rule: produce hooks cannot change
+				// the data type. Restore the kind rather than panic.
+				s.Kind = kind
+			}
+		}
+	}
+
+	n.clock++
+	s.Source = n.ID()
+	s.Logical = n.clock
+	s.Spans = n.currentSpans()
+	s.FromFeature = fromFeature
+	n.emitted = true
+
+	n.graph.notifyTaps(n.ID(), s)
+
+	for _, e := range n.out {
+		spec := e.to.spec
+		if e.port >= len(spec.Inputs) {
+			continue
+		}
+		in := spec.Inputs[e.port]
+		if fromFeature != "" {
+			if !in.acceptsFeature(fromFeature) {
+				continue
+			}
+		} else if !in.accepts(s.Kind) {
+			continue
+		}
+		if d := n.graph.deliver; d != nil {
+			d(e.to, e.port, s)
+		} else if err := e.to.process(e.port, s); err != nil {
+			n.graph.noteError(err)
+		}
+	}
+}
+
+// featureHost implements FeatureHost for one attached feature.
+type featureHost struct {
+	node    *Node
+	feature string
+}
+
+var _ FeatureHost = (*featureHost)(nil)
+
+func (h *featureHost) Component() Component { return h.node.comp }
+
+func (h *featureHost) EmitFeatureData(s Sample) {
+	h.node.emit(s, h.feature)
+}

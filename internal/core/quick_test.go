@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// buildChain constructs a linear pipeline of `depth` pass-through
+// transforms between a source with n samples and a sink.
+func buildChain(t *testing.T, depth, n int) (*Graph, *Sink) {
+	t.Helper()
+	g := New()
+	mustAdd(t, g, source("src", n))
+	prev := "src"
+	prevKind := kindRaw
+	for i := 0; i < depth; i++ {
+		id := fmt.Sprintf("t%d", i)
+		kind := Kind(fmt.Sprintf("k%d", i))
+		mustAdd(t, g, passthrough(id, prevKind, kind))
+		if err := g.Connect(prev, id, 0); err != nil {
+			t.Fatal(err)
+		}
+		prev = id
+		prevKind = kind
+	}
+	sink := NewSink("app", []Kind{prevKind})
+	mustAdd(t, g, sink)
+	if err := g.Connect(prev, "app", 0); err != nil {
+		t.Fatal(err)
+	}
+	return g, sink
+}
+
+// TestPropertyPipelineDelivery: for any depth and sample count, a
+// linear pipeline delivers every sample exactly once and in order.
+func TestPropertyPipelineDelivery(t *testing.T) {
+	f := func(depthRaw, nRaw uint8) bool {
+		depth := int(depthRaw%6) + 1
+		n := int(nRaw%40) + 1
+		g, sink := buildChain(t, depth, n)
+		if _, err := g.Run(0); err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		got := sink.Received()
+		if len(got) != n {
+			t.Logf("depth=%d n=%d delivered=%d", depth, n, len(got))
+			return false
+		}
+		for i, s := range got {
+			if s.Payload.(int) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLogicalTimeInvariants: along any linear pipeline, every
+// component's emissions carry logical times 1..n, and every span is
+// well-formed (From <= To, Source is the actual upstream).
+func TestPropertyLogicalTimeInvariants(t *testing.T) {
+	f := func(depthRaw, nRaw uint8) bool {
+		depth := int(depthRaw%5) + 1
+		n := int(nRaw%30) + 1
+		g, _ := buildChain(t, depth, n)
+
+		lastLogical := map[string]LogicalTime{}
+		ok := true
+		cancel := g.Tap(func(id string, s Sample) {
+			if s.Logical != lastLogical[id]+1 {
+				t.Logf("%s logical %d after %d", id, s.Logical, lastLogical[id])
+				ok = false
+			}
+			lastLogical[id] = s.Logical
+			for _, span := range s.Spans {
+				if span.From > span.To || span.Source == "" || span.Source == id {
+					t.Logf("%s malformed span %v", id, span)
+					ok = false
+				}
+			}
+			if id == "src" && len(s.Spans) != 0 {
+				t.Logf("source emitted spans %v", s.Spans)
+				ok = false
+			}
+			if id != "src" && len(s.Spans) == 0 {
+				t.Logf("%s emitted without spans", id)
+				ok = false
+			}
+		})
+		defer cancel()
+
+		if _, err := g.Run(0); err != nil {
+			return false
+		}
+		// Pass-through components emit once per input: all clocks agree.
+		for id, last := range lastLogical {
+			if last != LogicalTime(n) {
+				t.Logf("%s final clock %d, want %d", id, last, n)
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySpanContiguity: a batching component's consecutive
+// emissions carry contiguous, non-overlapping spans that cover the
+// entire input sequence.
+func TestPropertySpanContiguity(t *testing.T) {
+	f := func(nRaw, batchRaw uint8) bool {
+		n := int(nRaw%60) + 2
+		batch := int(batchRaw%5) + 1
+		g := New()
+		mustAdd(t, g, source("src", n))
+		var count int
+		batcher := &FuncComponent{
+			CompID: "batch",
+			CompSpec: Spec{
+				Inputs: []PortSpec{{Name: "in", Accepts: []Kind{kindRaw}}},
+				Output: OutputSpec{Kind: kindPos},
+			},
+			Fn: func(_ int, in Sample, emit Emit) error {
+				count++
+				if count%batch == 0 {
+					emit(NewSample(kindPos, count, in.Time))
+				}
+				return nil
+			},
+		}
+		mustAdd(t, g, batcher)
+		sink := NewSink("app", []Kind{kindPos})
+		mustAdd(t, g, sink)
+		if err := g.Connect("src", "batch", 0); err != nil {
+			return false
+		}
+		if err := g.Connect("batch", "app", 0); err != nil {
+			return false
+		}
+		if _, err := g.Run(0); err != nil {
+			return false
+		}
+
+		var next LogicalTime = 1
+		for _, s := range sink.Received() {
+			if len(s.Spans) != 1 {
+				return false
+			}
+			span := s.Spans[0]
+			if span.From != next {
+				t.Logf("span %v does not continue at %d", span, next)
+				return false
+			}
+			if span.To-span.From+1 != LogicalTime(batch) {
+				t.Logf("span %v covers %d inputs, want %d", span, span.To-span.From+1, batch)
+				return false
+			}
+			next = span.To + 1
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyInsertRemoveRoundTrip: splicing a pass-through component
+// into any edge and removing it again restores equivalent behaviour.
+func TestPropertyInsertRemoveRoundTrip(t *testing.T) {
+	f := func(depthRaw, posRaw uint8) bool {
+		depth := int(depthRaw%4) + 2
+		g, sink := buildChain(t, depth, 3)
+
+		// Pick an edge to splice into.
+		edges := g.Edges()
+		e := edges[int(posRaw)%len(edges)]
+		toNode, _ := g.Node(e.To)
+		inKind := toNode.Spec().Inputs[e.Port].Accepts[0]
+		extra := passthrough("spliced", inKind, inKind)
+
+		if err := g.InsertBetween(extra, e.From, e.To, e.Port, 0); err != nil {
+			t.Logf("insert: %v", err)
+			return false
+		}
+		if err := g.Validate(); err != nil {
+			t.Logf("validate after insert: %v", err)
+			return false
+		}
+		// Remove it and restore the original edge.
+		if err := g.Remove("spliced"); err != nil {
+			return false
+		}
+		if err := g.Connect(e.From, e.To, e.Port); err != nil {
+			return false
+		}
+		if err := g.Validate(); err != nil {
+			t.Logf("validate after remove: %v", err)
+			return false
+		}
+		if _, err := g.Run(0); err != nil {
+			return false
+		}
+		return sink.Len() == 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySampleAttrsImmutable: WithAttr never mutates the
+// original sample's attribute map.
+func TestPropertySampleAttrsImmutable(t *testing.T) {
+	f := func(k1, k2 string, v1, v2 int) bool {
+		if k1 == "" || k2 == "" || k1 == k2 {
+			return true
+		}
+		base := NewSample(kindRaw, 0, time.Time{}).WithAttr(k1, v1)
+		derived := base.WithAttr(k2, v2)
+		if _, ok := base.Attr(k2); ok {
+			return false
+		}
+		got1, ok1 := derived.IntAttr(k1)
+		got2, ok2 := derived.IntAttr(k2)
+		return ok1 && ok2 && got1 == v1 && got2 == v2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// asyncDeliver is installed on a Graph by a running Runner; when set,
+// emissions are enqueued to per-node inboxes instead of propagated by
+// direct call.
+type asyncDeliver func(n *Node, port int, s Sample)
+
+// Runner executes a graph asynchronously: one goroutine per component
+// consuming a bounded inbox, and one goroutine per Producer source
+// stepping it until exhaustion. This is the engine used for live
+// pipelines; deterministic runs use Graph.Run instead.
+//
+// The graph structure is frozen while the runner is active.
+type Runner struct {
+	g        *Graph
+	interval time.Duration
+
+	mu      sync.Mutex
+	started bool
+	cancel  context.CancelFunc
+
+	inboxes  map[*Node]chan message
+	doneCh   chan struct{}  // closed by Stop to end node goroutines
+	inflight sync.WaitGroup // tracks queued but unprocessed messages
+	workers  sync.WaitGroup // node goroutines
+	sources  sync.WaitGroup // producer goroutines
+}
+
+type message struct {
+	port int
+	s    Sample
+}
+
+// RunnerOption configures a Runner.
+type RunnerOption func(*Runner)
+
+// WithSourceInterval makes producer sources step at the given period
+// instead of free-running (live-pipeline pacing).
+func WithSourceInterval(d time.Duration) RunnerOption {
+	return func(r *Runner) { r.interval = d }
+}
+
+// NewRunner returns a runner for g.
+func NewRunner(g *Graph, opts ...RunnerOption) *Runner {
+	r := &Runner{g: g}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Start freezes the graph and launches the node and source goroutines.
+// It returns once everything is running.
+func (r *Runner) Start(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return fmt.Errorf("runner: %w", ErrRunning)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	r.cancel = cancel
+
+	nodes := r.g.Nodes()
+	r.inboxes = make(map[*Node]chan message, len(nodes))
+	for _, n := range nodes {
+		// Size-one inboxes: enqueue blocks when the consumer lags,
+		// giving natural backpressure along the (acyclic) tree.
+		r.inboxes[n] = make(chan message, 1)
+	}
+
+	r.g.setAsync(func(n *Node, port int, s Sample) {
+		r.inflight.Add(1)
+		r.inboxes[n] <- message{port: port, s: s}
+	})
+
+	done := make(chan struct{})
+	for _, n := range nodes {
+		n := n
+		inbox := r.inboxes[n]
+		r.workers.Add(1)
+		go func() {
+			defer r.workers.Done()
+			for {
+				select {
+				case m := <-inbox:
+					if err := n.process(m.port, m.s); err != nil {
+						r.g.noteError(err)
+					}
+					r.inflight.Done()
+				case <-done:
+					// Drain anything that raced with shutdown.
+					for {
+						select {
+						case m := <-inbox:
+							if err := n.process(m.port, m.s); err != nil {
+								r.g.noteError(err)
+							}
+							r.inflight.Done()
+						default:
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	r.doneCh = done
+
+	for _, n := range nodes {
+		if _, ok := n.comp.(Producer); !ok {
+			continue
+		}
+		n := n
+		r.sources.Add(1)
+		go func() {
+			defer r.sources.Done()
+			var ticker *time.Ticker
+			if r.interval > 0 {
+				ticker = time.NewTicker(r.interval)
+				defer ticker.Stop()
+			}
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				more, err := n.step()
+				if err != nil {
+					r.g.noteError(err)
+				}
+				if !more {
+					return
+				}
+				if ticker != nil {
+					select {
+					case <-ctx.Done():
+						return
+					case <-ticker.C:
+					}
+				}
+			}
+		}()
+	}
+
+	r.started = true
+	return nil
+}
+
+// Stop halts the sources, waits for all in-flight samples to drain,
+// stops the node goroutines and unfreezes the graph. It returns any
+// errors collected during the run.
+func (r *Runner) Stop() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.started {
+		return nil
+	}
+	r.cancel()
+	r.sources.Wait()
+	r.inflight.Wait()
+	close(r.doneCh)
+	r.workers.Wait()
+	r.g.setAsync(nil)
+	r.started = false
+	return r.g.drainErrors()
+}
+
+// WaitSources blocks until every producer source is exhausted (or
+// stopped via context), then drains in-flight samples. The runner keeps
+// accepting injected samples until Stop is called.
+func (r *Runner) WaitSources() {
+	r.sources.Wait()
+	r.inflight.Wait()
+}

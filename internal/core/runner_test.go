@@ -1,0 +1,279 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunnerDeliversEverything(t *testing.T) {
+	g, sink := buildLinear(t, 50)
+	r := NewRunner(g)
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r.WaitSources()
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 50 {
+		t.Errorf("sink received %d, want 50", sink.Len())
+	}
+	// Order along a single path must be preserved.
+	for i, s := range sink.Received() {
+		if s.Payload.(int) != i {
+			t.Fatalf("sample %d payload = %v (out of order)", i, s.Payload)
+		}
+	}
+}
+
+func TestRunnerMultipleSources(t *testing.T) {
+	g := New()
+	mustAdd(t, g, source("a", 20))
+	mustAdd(t, g, source("b", 20))
+	merge := &FuncComponent{
+		CompID: "merge",
+		CompSpec: Spec{
+			Inputs: []PortSpec{
+				{Name: "a", Accepts: []Kind{kindRaw}},
+				{Name: "b", Accepts: []Kind{kindRaw}},
+			},
+			Output: OutputSpec{Kind: kindPos},
+		},
+		Fn: func(_ int, in Sample, emit Emit) error {
+			out := in
+			out.Kind = kindPos
+			emit(out)
+			return nil
+		},
+	}
+	mustAdd(t, g, merge)
+	sink := NewSink("app", []Kind{kindPos})
+	mustAdd(t, g, sink)
+	if err := g.Connect("a", "merge", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("b", "merge", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("merge", "app", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner(g)
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r.WaitSources()
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 40 {
+		t.Errorf("sink received %d, want 40", sink.Len())
+	}
+}
+
+func TestRunnerFreezesStructure(t *testing.T) {
+	g, _ := buildLinear(t, 1000)
+	r := NewRunner(g)
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := r.Stop(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	if _, err := g.Add(source("late", 1)); !errors.Is(err, ErrRunning) {
+		t.Errorf("Add while running = %v, want ErrRunning", err)
+	}
+	if err := g.Connect("src", "app", 0); !errors.Is(err, ErrRunning) {
+		t.Errorf("Connect while running = %v, want ErrRunning", err)
+	}
+	if err := g.Remove("mid"); !errors.Is(err, ErrRunning) {
+		t.Errorf("Remove while running = %v, want ErrRunning", err)
+	}
+	if err := g.Disconnect("mid", "app", 0); !errors.Is(err, ErrRunning) {
+		t.Errorf("Disconnect while running = %v, want ErrRunning", err)
+	}
+}
+
+func TestRunnerDoubleStart(t *testing.T) {
+	g, _ := buildLinear(t, 1)
+	r := NewRunner(g)
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(context.Background()); !errors.Is(err, ErrRunning) {
+		t.Errorf("second Start = %v, want ErrRunning", err)
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerStopIdempotent(t *testing.T) {
+	g, _ := buildLinear(t, 1)
+	r := NewRunner(g)
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Stop(); err != nil {
+		t.Errorf("second Stop = %v, want nil", err)
+	}
+}
+
+func TestRunnerRestartAfterStop(t *testing.T) {
+	g, sink := buildLinear(t, 5)
+	r := NewRunner(g)
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r.WaitSources()
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Structure is mutable again; a second runner works.
+	if err := g.Disconnect("mid", "app", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("mid", "app", 0); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner(g)
+	if err := r2.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 5 {
+		t.Errorf("sink received %d, want 5", sink.Len())
+	}
+}
+
+func TestRunnerContextCancelStopsSources(t *testing.T) {
+	g := New()
+	mustAdd(t, g, &infiniteSource{id: "inf"})
+	sink := NewSink("app", []Kind{kindRaw})
+	mustAdd(t, g, sink)
+	if err := g.Connect("inf", "app", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRunner(g)
+	if err := r.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Let it produce a bit, then cancel.
+	deadline := time.Now().Add(2 * time.Second)
+	for sink.Len() < 10 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() < 10 {
+		t.Errorf("sink received %d, want >= 10", sink.Len())
+	}
+}
+
+func TestRunnerSourceInterval(t *testing.T) {
+	g, sink := buildLinear(t, 3)
+	r := NewRunner(g, WithSourceInterval(time.Millisecond))
+	start := time.Now()
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r.WaitSources()
+	elapsed := time.Since(start)
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 3 {
+		t.Errorf("sink received %d, want 3", sink.Len())
+	}
+	// 3 samples with 2 inter-sample gaps of >= 1ms.
+	if elapsed < 2*time.Millisecond {
+		t.Errorf("elapsed = %v, want >= 2ms with pacing", elapsed)
+	}
+}
+
+func TestRunnerCollectsComponentErrors(t *testing.T) {
+	g := New()
+	mustAdd(t, g, source("src", 3))
+	boom := errors.New("boom")
+	bad := &FuncComponent{
+		CompID: "bad",
+		CompSpec: Spec{
+			Inputs: []PortSpec{{Name: "in", Accepts: []Kind{kindRaw}}},
+			Output: OutputSpec{Kind: kindPos},
+		},
+		Fn: func(int, Sample, Emit) error { return boom },
+	}
+	mustAdd(t, g, bad)
+	if err := g.Connect("src", "bad", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner(g)
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r.WaitSources()
+	err := r.Stop()
+	if !errors.Is(err, boom) {
+		t.Errorf("Stop error = %v, want wrapped boom", err)
+	}
+}
+
+func TestRunnerInjectWhileRunning(t *testing.T) {
+	// Samples injected from outside (e.g. a remote bridge) flow through
+	// the async engine as well.
+	g, sink := buildLinear(t, 0)
+	r := NewRunner(g)
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := g.Inject("src", NewSample(kindRaw, i, time.Time{})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 10 {
+		t.Errorf("sink received %d, want 10", sink.Len())
+	}
+}
+
+// infiniteSource emits forever; used for cancellation tests.
+type infiniteSource struct {
+	id string
+	n  atomic.Int64
+}
+
+var _ Producer = (*infiniteSource)(nil)
+
+func (s *infiniteSource) ID() string { return s.id }
+
+func (s *infiniteSource) Spec() Spec {
+	return Spec{Name: s.id, Output: OutputSpec{Kind: kindRaw}}
+}
+
+func (s *infiniteSource) Process(int, Sample, Emit) error { return nil }
+
+func (s *infiniteSource) Step(emit Emit) (bool, error) {
+	emit(NewSample(kindRaw, int(s.n.Add(1)), time.Time{}))
+	return true, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidateGoodGraph(t *testing.T) {
+	g, _ := buildLinear(t, 1)
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate on a correct graph = %v", err)
+	}
+}
+
+func TestValidateEmptyGraph(t *testing.T) {
+	g := New()
+	if err := g.Validate(); !errors.Is(err, ErrInvalidSpec) {
+		t.Errorf("empty graph error = %v, want ErrInvalidSpec", err)
+	}
+}
+
+func TestValidateUnconnectedPort(t *testing.T) {
+	g := New()
+	mustAdd(t, g, source("src", 1))
+	mustAdd(t, g, passthrough("mid", kindRaw, kindPos))
+	sink := NewSink("app", []Kind{kindPos})
+	mustAdd(t, g, sink)
+	// mid's input stays unconnected; mid -> app connected.
+	if err := g.Connect("mid", "app", 0); err != nil {
+		t.Fatal(err)
+	}
+	err := g.Validate()
+	if err == nil {
+		t.Fatal("expected validation errors")
+	}
+	if !strings.Contains(err.Error(), `"mid" input port 0`) {
+		t.Errorf("error does not name the open port: %v", err)
+	}
+	// src is also dangling (cannot reach the sink).
+	if !strings.Contains(err.Error(), `"src" cannot reach any sink`) {
+		t.Errorf("error does not flag the dropped source: %v", err)
+	}
+}
+
+func TestValidateNoSink(t *testing.T) {
+	g := New()
+	mustAdd(t, g, source("src", 1))
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "no sink") {
+		t.Errorf("error = %v, want no-sink", err)
+	}
+}
+
+func TestValidateNoSource(t *testing.T) {
+	g := New()
+	mustAdd(t, g, NewSink("app", nil))
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "no source") {
+		t.Errorf("error = %v, want no-source", err)
+	}
+}
+
+func TestValidateAfterSurgeryStaysValid(t *testing.T) {
+	g, _ := buildLinear(t, 1)
+	filter := NewFilter("f", kindPos, func(Sample) bool { return true })
+	if err := g.InsertBetween(filter, "mid", "app", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate after InsertBetween = %v", err)
+	}
+	if err := g.Remove("f"); err != nil {
+		t.Fatal(err)
+	}
+	// Removing the filter leaves mid dangling and app's port open.
+	if err := g.Validate(); err == nil {
+		t.Error("expected validation errors after Remove")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g, _ := buildLinear(t, 1)
+	mid, _ := g.Node("mid")
+	if err := mid.AttachFeature(staticFeature{name: "hdop"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := g.WriteDOT(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph", `"src" [shape=house`, `"app" [shape=doublecircle`,
+		`"src" -> "mid"`, "hdop",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}

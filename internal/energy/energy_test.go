@@ -1,0 +1,354 @@
+package energy
+
+import (
+	"testing"
+	"time"
+
+	"perpos/internal/channel"
+	"perpos/internal/core"
+	"perpos/internal/geo"
+	"perpos/internal/gps"
+	"perpos/internal/positioning"
+	"perpos/internal/trace"
+)
+
+var testOrigin = geo.Point{Lat: 56.1629, Lon: 10.2039}
+
+func TestAccountantIntegratesEnergy(t *testing.T) {
+	a := NewAccountant(Model{GPSTrackingW: 0.5, GPSAcquiringW: 1.0, IdleW: 0.1, ReportJ: 2})
+	a.Tick(gps.ModeTracking, 10*time.Second) // 5 J gps + 1 J idle
+	a.Tick(gps.ModeAcquiring, 4*time.Second) // 4 J gps + 0.4 J idle
+	a.Tick(gps.ModeOff, 100*time.Second)     // 10 J idle
+	a.Report()
+	a.Report()
+
+	s := a.Summary()
+	if s.GPSJ != 9 {
+		t.Errorf("GPSJ = %v, want 9", s.GPSJ)
+	}
+	if s.RadioJ != 4 {
+		t.Errorf("RadioJ = %v, want 4", s.RadioJ)
+	}
+	if s.IdleJ != 11.4 {
+		t.Errorf("IdleJ = %v, want 11.4", s.IdleJ)
+	}
+	if s.TotalJ != 24.4 {
+		t.Errorf("TotalJ = %v, want 24.4", s.TotalJ)
+	}
+	if s.Reports != 2 {
+		t.Errorf("Reports = %d, want 2", s.Reports)
+	}
+	if got := s.DutyCycle(); got < 0.12 || got > 0.13 {
+		t.Errorf("DutyCycle = %v, want ~0.123", got)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestDutyCycleZeroTime(t *testing.T) {
+	var s Summary
+	if s.DutyCycle() != 0 {
+		t.Error("zero-time duty cycle should be 0")
+	}
+}
+
+// fakeCtrl is a scripted PowerControllable.
+type fakeCtrl struct {
+	mode gps.Mode
+	ons  int
+	offs int
+}
+
+func (f *fakeCtrl) PowerOn()       { f.mode = gps.ModeTracking; f.ons++ }
+func (f *fakeCtrl) PowerOff()      { f.mode = gps.ModeOff; f.offs++ }
+func (f *fakeCtrl) Mode() gps.Mode { return f.mode }
+
+func TestPowerStrategyWakesOnUncertaintyBound(t *testing.T) {
+	s := NewPowerStrategy(PowerStrategyConfig{Threshold: 50, Warmup: 5 * time.Second})
+	ctrl := &fakeCtrl{mode: gps.ModeTracking}
+	s.ctrl = ctrl
+
+	// A fix at speed 2 m/s, accuracy 5 m: the strategy powers off.
+	s.NotifyFix(2, 5)
+	if ctrl.offs != 1 || ctrl.mode != gps.ModeOff {
+		t.Fatalf("PowerOff not called: %+v", ctrl)
+	}
+
+	// Bound = 5 + 2*(t+5); reaches 50 at t = 17.5 s. Tick up to 17 s:
+	// still asleep.
+	for i := 0; i < 17; i++ {
+		s.tick(gps.ModeOff, time.Second)
+	}
+	if ctrl.ons != 0 {
+		t.Fatalf("woke too early after 17 s: %+v", ctrl)
+	}
+	s.tick(gps.ModeOff, time.Second)
+	if ctrl.ons == 0 {
+		t.Fatalf("did not wake at bound: %+v", ctrl)
+	}
+}
+
+func TestPowerStrategySpeedFloor(t *testing.T) {
+	s := NewPowerStrategy(PowerStrategyConfig{Threshold: 20, MinSpeed: 0.5, Warmup: time.Second})
+	ctrl := &fakeCtrl{mode: gps.ModeTracking}
+	s.ctrl = ctrl
+	s.NotifyFix(0, 0) // stationary target: floored to 0.5 m/s
+	// Bound = 0.5*(t+1) reaches 20 at t=39.
+	for i := 0; i < 38; i++ {
+		s.tick(gps.ModeOff, time.Second)
+	}
+	if ctrl.ons != 0 {
+		t.Fatal("woke too early for stationary target")
+	}
+	for i := 0; i < 3; i++ {
+		s.tick(gps.ModeOff, time.Second)
+	}
+	if ctrl.ons == 0 {
+		t.Fatal("stationary target must still wake eventually")
+	}
+}
+
+func TestPowerStrategyThresholdControl(t *testing.T) {
+	s := NewPowerStrategy(PowerStrategyConfig{})
+	if s.Threshold() != 50 {
+		t.Errorf("default threshold = %v", s.Threshold())
+	}
+	s.SetThreshold(100)
+	if s.Threshold() != 100 {
+		t.Errorf("threshold = %v after SetThreshold", s.Threshold())
+	}
+	s.SetThreshold(-5)
+	if s.Threshold() != 100 {
+		t.Error("negative threshold applied")
+	}
+}
+
+func TestPowerStrategyIgnoresTicksWhileOn(t *testing.T) {
+	s := NewPowerStrategy(PowerStrategyConfig{Threshold: 1})
+	ctrl := &fakeCtrl{mode: gps.ModeTracking}
+	s.ctrl = ctrl
+	for i := 0; i < 100; i++ {
+		s.tick(gps.ModeTracking, time.Second)
+	}
+	if ctrl.ons != 0 {
+		t.Error("PowerOn called while already tracking")
+	}
+}
+
+func TestPeriodicStrategy(t *testing.T) {
+	s := NewPeriodicStrategy(60*time.Second, 10*time.Second)
+	ctrl := &fakeCtrl{mode: gps.ModeTracking}
+	s.ctrl = ctrl
+	s.NotifyFix(1, 5)
+	if ctrl.offs != 1 {
+		t.Fatal("PowerOff not called on fix")
+	}
+	// Next on at elapsed + 60 - 10 = 50 s.
+	for i := 0; i < 49; i++ {
+		s.tick(gps.ModeOff, time.Second)
+	}
+	if ctrl.ons != 0 {
+		t.Fatal("woke too early")
+	}
+	s.tick(gps.ModeOff, time.Second)
+	if ctrl.ons == 0 {
+		t.Fatal("did not wake at period")
+	}
+}
+
+func TestEnTrackedFeatureAppliesToStrategyAndAccountant(t *testing.T) {
+	acct := NewAccountant(DefaultModel())
+	f := NewEnTrackedFeature(acct)
+	s := NewPowerStrategy(PowerStrategyConfig{})
+	ctrl := &fakeCtrl{mode: gps.ModeTracking}
+	s.ctrl = ctrl
+	f.Connect(s)
+
+	pos := positioning.Position{Accuracy: 4, Source: "gps"}
+	sample := core.NewSample(positioning.KindPosition, pos, time.Time{})
+	sample = sample.WithAttr("speedMS", 1.5)
+	tree := &channel.DataTree{Root: &channel.TreeNode{Sample: sample}}
+	f.Apply(tree)
+
+	if acct.Summary().Reports != 1 {
+		t.Error("report not accounted")
+	}
+	if ctrl.offs != 1 {
+		t.Error("strategy not notified")
+	}
+	if len(f.Reports()) != 1 {
+		t.Error("report not recorded")
+	}
+
+	// Non-position trees are ignored.
+	f.Apply(&channel.DataTree{Root: &channel.TreeNode{Sample: core.NewSample("x", 1, time.Time{})}})
+	if len(f.Reports()) != 1 {
+		t.Error("bogus tree recorded")
+	}
+}
+
+// buildPipeline wires receiver -> parser -> interpreter -> sink and
+// returns the graph, layer, channel into the sink and the receiver.
+func buildPipeline(t *testing.T, tr *trace.Trace, acct *Accountant, opts ...gps.ReceiverOption) (*core.Graph, *channel.Layer, *channel.Channel, *gps.Receiver) {
+	t.Helper()
+	opts = append(opts, gps.WithTick(acct.Tick))
+	recv := gps.NewReceiver("gps", tr, gps.Config{Seed: 20, ColdStart: 15 * time.Second, WarmStart: 5 * time.Second}, opts...)
+	g := core.New()
+	for _, c := range []core.Component{recv, gps.NewParser("parser"), gps.NewInterpreter("interpreter", 0)} {
+		if _, err := g.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink := core.NewSink("server", []core.Kind{positioning.KindPosition})
+	if _, err := g.Add(sink); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ from, to string }{
+		{"gps", "parser"}, {"parser", "interpreter"}, {"interpreter", "server"},
+	} {
+		if err := g.Connect(c.from, c.to, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	layer := channel.NewLayer(g)
+	t.Cleanup(layer.Close)
+	ch, ok := layer.ChannelInto("server", 0)
+	if !ok {
+		t.Fatal("no channel into server")
+	}
+	return g, layer, ch, recv
+}
+
+// trackingError returns the mean distance between the ground truth and
+// the most recent report, sampled every second — the server's view of
+// the target.
+func trackingError(tr *trace.Trace, reports []positioning.Position) float64 {
+	if len(reports) == 0 || tr.Len() == 0 {
+		return -1
+	}
+	proj := geo.NewProjection(tr.Origin)
+	var sum float64
+	var n int
+	ri := -1
+	for ts := tr.Points[0].Time; !ts.After(tr.Points[tr.Len()-1].Time); ts = ts.Add(time.Second) {
+		for ri+1 < len(reports) && !reports[ri+1].Time.After(ts) {
+			ri++
+		}
+		if ri < 0 {
+			continue // no report yet
+		}
+		truth, _ := tr.At(ts)
+		sum += proj.ToLocal(reports[ri].Global).Distance(truth.Local)
+		n++
+	}
+	if n == 0 {
+		return -1
+	}
+	return sum / float64(n)
+}
+
+// TestFig7EnTrackedSavesEnergy is the §3.3 integration: EnTracked must
+// use far less energy than always-on reporting while keeping the
+// tracking error bounded near its threshold, and it must beat periodic
+// polling on the energy/accuracy trade-off shape reported in the
+// EnTracked paper.
+func TestFig7EnTrackedSavesEnergy(t *testing.T) {
+	mkTrace := func() *trace.Trace {
+		return trace.PauseAndGo(testOrigin, 30, 4, 400, 1.4, 3*time.Minute, time.Second)
+	}
+
+	run := func(t *testing.T, strategyKind string) (Summary, float64) {
+		t.Helper()
+		tr := mkTrace()
+		acct := NewAccountant(DefaultModel())
+
+		var opts []gps.ReceiverOption
+		if strategyKind != "always-on" {
+			opts = append(opts, gps.StartOff())
+		}
+		g, _, ch, recv := buildPipeline(t, tr, acct, opts...)
+
+		var reports func() []positioning.Position
+		switch strategyKind {
+		case "always-on":
+			rep := NewReporterFeature(acct, nil)
+			if err := ch.AttachFeature(rep); err != nil {
+				t.Fatal(err)
+			}
+			reports = rep.Reports
+		case "periodic-60":
+			recvNode, _ := g.Node("gps")
+			strat := NewPeriodicStrategy(60*time.Second, 6*time.Second)
+			if err := recvNode.AttachFeature(strat); err != nil {
+				t.Fatal(err)
+			}
+			rep := NewReporterFeature(acct, strat)
+			if err := ch.AttachFeature(rep); err != nil {
+				t.Fatal(err)
+			}
+			// Periodic needs an initial wake.
+			recv.PowerOn()
+			reports = rep.Reports
+		case "entracked":
+			recvNode, _ := g.Node("gps")
+			strat := NewPowerStrategy(PowerStrategyConfig{Threshold: 50, Warmup: 6 * time.Second})
+			if err := recvNode.AttachFeature(strat); err != nil {
+				t.Fatal(err)
+			}
+			ent := NewEnTrackedFeature(acct)
+			if err := ch.AttachFeature(ent); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := ch.Feature(FeaturePowerStrategy)
+			if !ok {
+				t.Fatal("power strategy not visible through channel")
+			}
+			ent.Connect(got.(StrategyControl))
+			reports = ent.Reports
+		}
+
+		if _, err := g.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		errM := trackingError(tr, reports())
+		return acct.Summary(), errM
+	}
+
+	always, errAlways := run(t, "always-on")
+	periodic, errPeriodic := run(t, "periodic-60")
+	entracked, errEnTracked := run(t, "entracked")
+
+	t.Logf("always-on:  %v, mean error %.1f m", always, errAlways)
+	t.Logf("periodic60: %v, mean error %.1f m", periodic, errPeriodic)
+	t.Logf("entracked:  %v, mean error %.1f m", entracked, errEnTracked)
+
+	if errAlways < 0 || errPeriodic < 0 || errEnTracked < 0 {
+		t.Fatal("a policy produced no reports")
+	}
+	// Shape assertions from the EnTracked paper [3]:
+	// 1. EnTracked uses a small fraction of always-on energy.
+	if entracked.TotalJ > 0.5*always.TotalJ {
+		t.Errorf("entracked %.0f J should be well under half of always-on %.0f J",
+			entracked.TotalJ, always.TotalJ)
+	}
+	// 2. Its error stays bounded near the threshold.
+	if errEnTracked > 60 {
+		t.Errorf("entracked mean error %.1f m exceeds bound (threshold 50 m)", errEnTracked)
+	}
+	// 3. Always-on is the accuracy ceiling.
+	if errAlways > errEnTracked {
+		t.Errorf("always-on error %.1f m should not exceed entracked %.1f m",
+			errAlways, errEnTracked)
+	}
+	// 4. EnTracked dominates periodic polling: no worse error at no
+	// more energy, or clearly better error.
+	if entracked.TotalJ > periodic.TotalJ && errEnTracked > errPeriodic {
+		t.Errorf("entracked (%.0f J, %.1f m) dominated by periodic (%.0f J, %.1f m)",
+			entracked.TotalJ, errEnTracked, periodic.TotalJ, errPeriodic)
+	}
+	// 5. EnTracked duty-cycles the GPS.
+	if entracked.DutyCycle() > 0.8 {
+		t.Errorf("entracked duty cycle %.2f, want < 0.8", entracked.DutyCycle())
+	}
+}

@@ -1,0 +1,134 @@
+// Package energy reimplements the key parts of the EnTracked system
+// (§3.3, Fig. 7) on top of the PerPos processing-graph abstractions:
+// a device energy model, the Power Strategy Component Feature that
+// controls the GPS duty cycle, the EnTracked Channel Feature that
+// monitors the Interpreter output and drives the strategy, and the
+// baseline reporting policies (always-on, periodic) the evaluation
+// compares against.
+//
+// Substitution note (DESIGN.md): EnTracked ran on Nokia N95 phones. The
+// energy model uses N95-class constants (GPS ~0.35 W, cellular report
+// ~2 J); the claims reproduced are relative — energy saved versus
+// error bound — not absolute joules.
+package energy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"perpos/internal/gps"
+)
+
+// Model holds the device power constants.
+type Model struct {
+	// GPSTrackingW is GPS power draw while tracking, in watts.
+	GPSTrackingW float64
+	// GPSAcquiringW is GPS power draw during acquisition, in watts.
+	GPSAcquiringW float64
+	// IdleW is the baseline device draw attributed to tracking, watts.
+	IdleW float64
+	// ReportJ is the radio energy per position report, in joules.
+	ReportJ float64
+}
+
+// DefaultModel returns N95-class constants.
+func DefaultModel() Model {
+	return Model{
+		GPSTrackingW:  0.35,
+		GPSAcquiringW: 0.40,
+		IdleW:         0.02,
+		ReportJ:       2.0,
+	}
+}
+
+// Accountant integrates the energy spent by a tracked device. Plug
+// Tick into the receiver (gps.WithTick) and call Report once per
+// transmitted position update. It is safe for concurrent use.
+type Accountant struct {
+	model Model
+
+	mu       sync.Mutex
+	gpsJ     float64
+	radioJ   float64
+	idleJ    float64
+	onTime   time.Duration
+	offTime  time.Duration
+	reports  int
+	duration time.Duration
+}
+
+// NewAccountant returns an accountant over the given model.
+func NewAccountant(model Model) *Accountant {
+	return &Accountant{model: model}
+}
+
+// Tick integrates one receiver epoch; wire it via gps.WithTick.
+func (a *Accountant) Tick(mode gps.Mode, d time.Duration) {
+	sec := d.Seconds()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.duration += d
+	a.idleJ += a.model.IdleW * sec
+	switch mode {
+	case gps.ModeTracking:
+		a.gpsJ += a.model.GPSTrackingW * sec
+		a.onTime += d
+	case gps.ModeAcquiring:
+		a.gpsJ += a.model.GPSAcquiringW * sec
+		a.onTime += d
+	default:
+		a.offTime += d
+	}
+}
+
+// Report accounts one radio transmission of a position update.
+func (a *Accountant) Report() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.radioJ += a.model.ReportJ
+	a.reports++
+}
+
+// Summary is an energy breakdown.
+type Summary struct {
+	GPSJ     float64
+	RadioJ   float64
+	IdleJ    float64
+	TotalJ   float64
+	OnTime   time.Duration
+	OffTime  time.Duration
+	Reports  int
+	Duration time.Duration
+}
+
+// DutyCycle returns the fraction of time the GPS was powered.
+func (s Summary) DutyCycle() float64 {
+	total := s.OnTime + s.OffTime
+	if total == 0 {
+		return 0
+	}
+	return float64(s.OnTime) / float64(total)
+}
+
+// String renders the summary for experiment tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("total %.0f J (gps %.0f, radio %.0f, idle %.0f), duty %.0f%%, %d reports",
+		s.TotalJ, s.GPSJ, s.RadioJ, s.IdleJ, s.DutyCycle()*100, s.Reports)
+}
+
+// Summary returns the accumulated breakdown.
+func (a *Accountant) Summary() Summary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Summary{
+		GPSJ:     a.gpsJ,
+		RadioJ:   a.radioJ,
+		IdleJ:    a.idleJ,
+		TotalJ:   a.gpsJ + a.radioJ + a.idleJ,
+		OnTime:   a.onTime,
+		OffTime:  a.offTime,
+		Reports:  a.reports,
+		Duration: a.duration,
+	}
+}

@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"perpos/internal/building"
+	"perpos/internal/channel"
+	"perpos/internal/core"
+	"perpos/internal/filter"
+	"perpos/internal/gps"
+	"perpos/internal/positioning"
+	"perpos/internal/trace"
+	"perpos/internal/wifi"
+)
+
+// BuildFig2 assembles the pipeline of Fig. 2 — GPS -> Parser ->
+// Interpreter and WiFi -> Positioning feeding a Particle Filter, whose
+// output reaches the application — and returns the graph, the channel
+// layer, the particle filter, and the provider the application uses.
+// It is shared by E2, E3, E7 and the inspection tooling.
+func BuildFig2(seed int64) (*core.Graph, *channel.Layer, *filter.ParticleFilter, *positioning.Provider, error) {
+	b := building.Evaluation()
+	tr := trace.CorridorWalk(b, seed, 5, time.Second)
+	network := wifi.DefaultDeployment(b)
+	db := wifi.Survey(network, 0, wifi.SurveyConfig{Seed: seed + 1})
+
+	g := core.New()
+	pf := filter.NewParticleFilter("particle-filter", b, filter.Config{Particles: 300, Seed: seed + 2})
+	// The provider's feature lookup closes over channels assigned once
+	// the channel layer exists below.
+	var appChannel, gpsChannel *channel.Channel
+	providerLookup := func(name string) (any, bool) {
+		for _, c := range []*channel.Channel{appChannel, gpsChannel} {
+			if c == nil {
+				continue
+			}
+			if f, ok := c.Feature(name); ok {
+				return f, true
+			}
+		}
+		return nil, false
+	}
+	provider := positioning.NewProvider("fused", positioning.ProviderInfo{
+		Technology:      "particle-filter",
+		TypicalAccuracy: 3,
+		RoomLevel:       true,
+	}, providerLookup)
+
+	comps := []core.Component{
+		gps.NewReceiver("gps", tr, gps.Config{Seed: seed + 3, ColdStart: 2 * time.Second}),
+		gps.NewParser("parser"),
+		gps.NewInterpreter("interpreter", 0),
+		wifi.NewSensor("wifi", network, tr, 2*time.Second, seed+4),
+		wifi.NewEngine("wifi-positioning", db, b, 3),
+		pf,
+		positioning.NewProviderSink("app", provider),
+	}
+	for _, c := range comps {
+		if _, err := g.Add(c); err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	parserNode, _ := g.Node("parser")
+	if err := parserNode.AttachFeature(gps.NewHDOPFeature()); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	for _, c := range []struct {
+		from, to string
+		port     int
+	}{
+		{"gps", "parser", 0},
+		{"parser", "interpreter", 0},
+		{"interpreter", "particle-filter", 0},
+		{"wifi", "wifi-positioning", 0},
+		{"wifi-positioning", "particle-filter", 1},
+		{"particle-filter", "app", 0},
+	} {
+		if err := g.Connect(c.from, c.to, c.port); err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+
+	layer := channel.NewLayer(g)
+	like := filter.NewHDOPLikelihood(0)
+	ch, ok := layer.ChannelInto("particle-filter", 0)
+	if !ok {
+		layer.Close()
+		return nil, nil, nil, nil, fmt.Errorf("eval: no GPS channel into the particle filter")
+	}
+	if err := ch.AttachFeature(like); err != nil {
+		layer.Close()
+		return nil, nil, nil, nil, err
+	}
+	pf.UseLikelihood(like)
+
+	// Expose the channels' features at the Positioning Layer through
+	// the provider's lookup (assigning the closed-over channels).
+	gpsChannel = ch
+	appChannel, _ = layer.ChannelInto("app", 0)
+
+	return g, layer, pf, provider, nil
+}
+
+// RunE2 verifies the three levels of abstraction of Fig. 2 against the
+// structure the figure shows: the PSL component tree, the PCL channel
+// view, and the Positioning Layer provider view with features visible
+// at the top.
+func RunE2() (Result, error) {
+	g, layer, _, provider, err := BuildFig2(40)
+	if err != nil {
+		return Result{}, err
+	}
+	defer layer.Close()
+
+	psComponents := len(g.Nodes())
+	psEdges := len(g.Edges())
+	view := layer.View()
+
+	_, likelihoodVisible := provider.Feature(filter.FeatureLikelihood)
+
+	var channelIDs []string
+	for _, c := range view.Channels {
+		channelIDs = append(channelIDs, c.ID)
+	}
+
+	res := Result{
+		ID:     "E2",
+		Title:  "Three levels of abstraction (Fig. 2)",
+		Header: []string{"layer", "element", "value"},
+		Rows: [][]string{
+			{"PSL", "processing components", itoa(psComponents)},
+			{"PSL", "connections", itoa(psEdges)},
+			{"PCL", "data sources", strings.Join(view.Sources, ", ")},
+			{"PCL", "merge components", strings.Join(view.Merges, ", ")},
+			{"PCL", "channels", itoa(len(view.Channels))},
+			{"PCL", "channel ids", strings.Join(channelIDs, ", ")},
+			{"PL", "provider", provider.Name()},
+			{"PL", "likelihood feature visible", fmt.Sprintf("%v", likelihoodVisible)},
+		},
+	}
+	// Structural expectations from the figure.
+	if psComponents != 7 {
+		res.Notes = append(res.Notes, fmt.Sprintf("expected 7 PSL components, got %d", psComponents))
+	}
+	if len(view.Sources) != 2 || len(view.Merges) != 1 || len(view.Channels) != 3 {
+		res.Notes = append(res.Notes, "PCL view does not match Fig. 2 (2 sources, 1 merge, 3 channels)")
+	}
+	if !likelihoodVisible {
+		res.Notes = append(res.Notes, "likelihood feature not visible at the Positioning Layer")
+	}
+	return res, nil
+}

@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"perpos/internal/core"
+	"perpos/internal/geo"
+	"perpos/internal/gps"
+	"perpos/internal/positioning"
+	"perpos/internal/registry"
+	"perpos/internal/trace"
+)
+
+// E8Config parameterizes the dependency-resolution experiment.
+type E8Config struct {
+	// PoolSizes are the numbers of distractor component types to sweep.
+	PoolSizes []int
+}
+
+func (c E8Config) withDefaults() E8Config {
+	if len(c.PoolSizes) == 0 {
+		c.PoolSizes = []int{0, 10, 100, 1000}
+	}
+	return c
+}
+
+// RunE8 measures the OSGi-analog dependency resolution (§2.1): the
+// resolver must assemble the Fig. 1 GPS pipeline from declared
+// requirements alone, in the presence of growing pools of irrelevant
+// registered component types, and the assembled pipeline must work.
+func RunE8(cfg E8Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	res := Result{
+		ID:     "E8",
+		Title:  "Declarative assembly: resolution vs registry size (§2.1)",
+		Header: []string{"distractor types", "created components", "resolve time", "pipeline works"},
+	}
+
+	for _, pool := range cfg.PoolSizes {
+		reg := &registry.Registry{}
+		// Distractors: kinds nothing requires.
+		for i := 0; i < pool; i++ {
+			i := i
+			err := reg.Register(registry.Registration{
+				Name: fmt.Sprintf("Noise%d", i),
+				Spec: core.Spec{
+					Inputs: []core.PortSpec{{Name: "in", Accepts: []core.Kind{core.Kind(fmt.Sprintf("noise.%d", i))}}},
+					Output: core.OutputSpec{Kind: core.Kind(fmt.Sprintf("noise.%d.out", i))},
+				},
+				New: func(id string) core.Component {
+					return core.NewTransform(id, core.Kind(fmt.Sprintf("noise.%d", i)),
+						core.Kind(fmt.Sprintf("noise.%d.out", i)),
+						func(s core.Sample) (core.Sample, bool) { return s, true })
+				},
+			})
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		// The real types.
+		if err := reg.Register(registry.Registration{
+			Name: "Parser",
+			Spec: gps.NewParser("proto").Spec(),
+			New:  func(id string) core.Component { return gps.NewParser(id) },
+		}); err != nil {
+			return Result{}, err
+		}
+		if err := reg.Register(registry.Registration{
+			Name: "Interpreter",
+			Spec: gps.NewInterpreter("proto", 0).Spec(),
+			New:  func(id string) core.Component { return gps.NewInterpreter(id, 0) },
+		}); err != nil {
+			return Result{}, err
+		}
+
+		g := core.New()
+		tr := trace.OutdoorTrack(geo.Point{Lat: 56.16, Lon: 10.2}, 90, 2, 100, 1.4, time.Second)
+		if _, err := g.Add(gps.NewReceiver("gps", tr, gps.Config{Seed: 91, ColdStart: time.Second})); err != nil {
+			return Result{}, err
+		}
+		sink := core.NewSink("app", []core.Kind{positioning.KindPosition})
+		if _, err := g.Add(sink); err != nil {
+			return Result{}, err
+		}
+
+		start := time.Now()
+		created, err := reg.Resolve(g)
+		elapsed := time.Since(start)
+		if err != nil {
+			return Result{}, fmt.Errorf("resolve with pool %d: %w", pool, err)
+		}
+		if _, err := g.Run(0); err != nil {
+			return Result{}, err
+		}
+		works := sink.Len() > 0
+
+		res.Rows = append(res.Rows, []string{
+			itoa(pool), itoa(len(created)), elapsed.Round(time.Microsecond).String(),
+			fmt.Sprintf("%v", works),
+		})
+		if !works {
+			res.Notes = append(res.Notes,
+				fmt.Sprintf("pool %d: assembled pipeline delivered nothing", pool))
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,64 @@
+package filter
+
+import (
+	"perpos/internal/core"
+	"perpos/internal/geo"
+	"perpos/internal/positioning"
+)
+
+// NewMovingAverage returns the baseline smoother the evaluation
+// compares the particle filter against: a Processing Component emitting
+// the mean of the last `window` positions. It has no access to HDOP or
+// the building model — it is what a transparent middleware would let a
+// developer build.
+func NewMovingAverage(id string, window int) *core.FuncComponent {
+	if window <= 0 {
+		window = 5
+	}
+	var buf []positioning.Position
+	return &core.FuncComponent{
+		CompID: id,
+		CompSpec: core.Spec{
+			Name: "MovingAverage",
+			Inputs: []core.PortSpec{{
+				Name:    "position",
+				Accepts: []core.Kind{positioning.KindPosition},
+			}},
+			Output: core.OutputSpec{Kind: positioning.KindPosition},
+		},
+		Fn: func(_ int, in core.Sample, emit core.Emit) error {
+			pos, ok := in.Payload.(positioning.Position)
+			if !ok {
+				return nil
+			}
+			buf = append(buf, pos)
+			if len(buf) > window {
+				buf = buf[1:]
+			}
+			var lat, lon, e, n, acc float64
+			hasLocal := true
+			for _, p := range buf {
+				lat += p.Global.Lat
+				lon += p.Global.Lon
+				e += p.Local.East
+				n += p.Local.North
+				acc += p.Accuracy
+				hasLocal = hasLocal && p.HasLocal
+			}
+			k := float64(len(buf))
+			out := positioning.Position{
+				Time:     pos.Time,
+				Global:   geo.Point{Lat: lat / k, Lon: lon / k},
+				Accuracy: acc / k,
+				Source:   "moving-average",
+				Floor:    pos.Floor,
+			}
+			if hasLocal {
+				out.Local = geo.ENU{East: e / k, North: n / k}
+				out.HasLocal = true
+			}
+			emit(core.NewSample(positioning.KindPosition, out, in.Time))
+			return nil
+		},
+	}
+}

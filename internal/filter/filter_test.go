@@ -1,0 +1,340 @@
+package filter
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"perpos/internal/building"
+	"perpos/internal/channel"
+	"perpos/internal/core"
+	"perpos/internal/geo"
+	"perpos/internal/gps"
+	"perpos/internal/positioning"
+	"perpos/internal/trace"
+)
+
+func position(e, n float64, at time.Time, acc float64) core.Sample {
+	b := building.Evaluation()
+	pos := positioning.Position{
+		Time:     at,
+		Global:   b.Projection().ToGlobal(geo.ENU{East: e, North: n}),
+		Local:    geo.ENU{East: e, North: n},
+		HasLocal: true,
+		Accuracy: acc,
+		Source:   "gps",
+	}
+	return core.NewSample(positioning.KindPosition, pos, at)
+}
+
+func TestParticleFilterConvergesOnStationaryTarget(t *testing.T) {
+	b := building.Evaluation()
+	pf := NewParticleFilter("pf", b, Config{Particles: 300, Seed: 1})
+	truth := geo.ENU{East: 20, North: 6}
+
+	var last positioning.Position
+	emit := func(s core.Sample) { last = s.Payload.(positioning.Position) }
+
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 20; i++ {
+		// Noisy measurements around the truth.
+		e := truth.East + 3*math.Sin(float64(i)*1.7)
+		n := truth.North + 3*math.Cos(float64(i)*2.3)
+		if err := pf.Process(0, position(e, n, at, 4), emit); err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(time.Second)
+	}
+	if !last.HasLocal || last.Source != "particle-filter" {
+		t.Fatalf("estimate = %+v", last)
+	}
+	if d := last.Local.Distance(truth); d > 3 {
+		t.Errorf("converged estimate %.2f m from truth, want <= 3 m", d)
+	}
+	emitted, _, _ := pf.Stats()
+	if emitted != 20 {
+		t.Errorf("emitted = %d, want 20", emitted)
+	}
+	if last.RoomID != "corridor" {
+		t.Errorf("room = %q, want corridor", last.RoomID)
+	}
+}
+
+func TestParticleFilterWallConstraintKeepsEstimateInRoom(t *testing.T) {
+	// Truth sits in office N1; measurements are biased 4 m south (into
+	// the corridor wall region). Wall constraints plus the prior should
+	// keep a large share of particles in legal space and the estimate
+	// near the room.
+	b := building.Evaluation()
+	pf := NewParticleFilter("pf", b, Config{Particles: 400, Seed: 2, InitSigma: 3})
+	truth := geo.ENU{East: 4, North: 9.5}
+
+	var last positioning.Position
+	emit := func(s core.Sample) { last = s.Payload.(positioning.Position) }
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 15; i++ {
+		if err := pf.Process(0, position(truth.East, truth.North-2, at, 3), emit); err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(time.Second)
+	}
+	if d := last.Local.Distance(truth); d > 4 {
+		t.Errorf("estimate %.2f m from truth", d)
+	}
+	// The population must not have leaked through walls en masse: count
+	// particles outside N1 and the corridor.
+	outside := 0
+	for _, p := range pf.Particles() {
+		room, ok := b.RoomAt(p.Pos, 0)
+		if !ok || (room.ID != "N1" && room.ID != "corridor") {
+			outside++
+		}
+	}
+	if frac := float64(outside) / float64(len(pf.Particles())); frac > 0.2 {
+		t.Errorf("%.0f%% of particles escaped through walls", frac*100)
+	}
+}
+
+func TestParticleFilterReinitialisesWhenLost(t *testing.T) {
+	b := building.Evaluation()
+	pf := NewParticleFilter("pf", b, Config{Particles: 100, Seed: 3, InitSigma: 2})
+	emit := func(core.Sample) {}
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+	// Converge at the west end...
+	for i := 0; i < 5; i++ {
+		if err := pf.Process(0, position(4, 6, at, 2), emit); err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(time.Second)
+	}
+	// ...then teleport the measurement to the east end. The population
+	// has ~zero likelihood there; the filter must recover.
+	var last positioning.Position
+	emit = func(s core.Sample) { last = s.Payload.(positioning.Position) }
+	for i := 0; i < 10; i++ {
+		if err := pf.Process(0, position(36, 6, at, 2), emit); err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(time.Second)
+	}
+	if d := last.Local.Distance(geo.ENU{East: 36, North: 6}); d > 5 {
+		t.Errorf("filter failed to recover: %.1f m away", d)
+	}
+	_, _, reinits := pf.Stats()
+	if reinits == 0 {
+		t.Error("expected at least one reinitialisation")
+	}
+}
+
+func TestParticleFilterIgnoresNonPositionPayload(t *testing.T) {
+	pf := NewParticleFilter("pf", nil, Config{Particles: 10, Seed: 1})
+	emitted := 0
+	if err := pf.Process(0, core.NewSample(positioning.KindPosition, "bogus", time.Time{}),
+		func(core.Sample) { emitted++ }); err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 0 {
+		t.Error("bogus payload produced an estimate")
+	}
+}
+
+func TestParticleFilterWithoutBuilding(t *testing.T) {
+	pf := NewParticleFilter("pf", nil, Config{Particles: 200, Seed: 4})
+	var last positioning.Position
+	emit := func(s core.Sample) { last = s.Payload.(positioning.Position) }
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		pos := positioning.Position{
+			Time:     at,
+			Local:    geo.ENU{East: 5, North: 5},
+			HasLocal: true,
+			Accuracy: 3,
+		}
+		if err := pf.Process(0, core.NewSample(positioning.KindPosition, pos, at), emit); err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(time.Second)
+	}
+	if d := last.Local.Distance(geo.ENU{East: 5, North: 5}); d > 3 {
+		t.Errorf("estimate %.2f m off without building", d)
+	}
+	if last.RoomID != "" {
+		t.Errorf("room = %q without building", last.RoomID)
+	}
+}
+
+func TestHDOPLikelihoodSigma(t *testing.T) {
+	f := NewHDOPLikelihood(3)
+	// No data yet: permissive sigma.
+	if got := f.Sigma(); got != 30 {
+		t.Errorf("empty Sigma = %v, want 30", got)
+	}
+	f.hdops = []float64{1, 2, 3}
+	if got := f.Sigma(); got != 6 { // mean 2 * uere 3
+		t.Errorf("Sigma = %v, want 6", got)
+	}
+	f.hdops = []float64{0.1}
+	if got := f.Sigma(); got != 1 { // floor at 1 m
+		t.Errorf("Sigma = %v, want 1 (floored)", got)
+	}
+}
+
+func TestHDOPLikelihoodScoring(t *testing.T) {
+	f := NewHDOPLikelihood(3)
+	f.hdops = []float64{1} // sigma 3
+	measured := geo.ENU{East: 10, North: 10}
+	near := f.Likelihood(geo.ENU{East: 10.5, North: 10}, measured)
+	far := f.Likelihood(geo.ENU{East: 25, North: 10}, measured)
+	if near <= far {
+		t.Errorf("near %.4f should exceed far %.4f", near, far)
+	}
+	exact := f.Likelihood(measured, measured)
+	if exact != 1 {
+		t.Errorf("exact match likelihood = %v, want 1", exact)
+	}
+}
+
+// TestFig5EndToEnd is the full §3.2 integration: GPS receiver ->
+// Parser (+HDOP component feature) -> Interpreter -> ParticleFilter,
+// with the Likelihood Channel Feature attached to the GPS channel and
+// wired into the filter via Channel.Feature — the complete Fig. 5 flow.
+// The particle filter must beat raw GPS on an indoor corridor walk.
+func TestFig5EndToEnd(t *testing.T) {
+	b := building.Evaluation()
+	tr := trace.CorridorWalk(b, 11, 6, time.Second)
+
+	// --- PerPos pipeline with particle filter ---
+	g := core.New()
+	mustAdd(t, g, gps.NewReceiver("gps", tr, gps.Config{Seed: 12, ColdStart: time.Second}))
+	mustAdd(t, g, gps.NewParser("parser"))
+	parserNode, _ := g.Node("parser")
+	if err := parserNode.AttachFeature(gps.NewHDOPFeature()); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, g, gps.NewInterpreter("interpreter", 0))
+	pf := NewParticleFilter("particle-filter", b, Config{Particles: 400, Seed: 13})
+	mustAdd(t, g, pf)
+	sink := core.NewSink("app", []core.Kind{positioning.KindPosition})
+	mustAdd(t, g, sink)
+	mustConnect(t, g, "gps", "parser", 0)
+	mustConnect(t, g, "parser", "interpreter", 0)
+	mustConnect(t, g, "interpreter", "particle-filter", 0)
+	mustConnect(t, g, "particle-filter", "app", 0)
+
+	// PCL: attach the Likelihood feature to the GPS channel and hand it
+	// to the filter (Fig. 5, snippets 1+2).
+	layer := channel.NewLayer(g)
+	defer layer.Close()
+	ch, ok := layer.ChannelInto("particle-filter", 0)
+	if !ok {
+		t.Fatal("no channel into the particle filter")
+	}
+	like := NewHDOPLikelihood(0)
+	if err := ch.AttachFeature(like); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := ch.Feature(FeatureLikelihood)
+	if !ok {
+		t.Fatal("likelihood feature not retrievable from channel")
+	}
+	pf.UseLikelihood(got.(Likelihood))
+
+	// Tap raw GPS positions for the baseline comparison.
+	var rawErr, pfErr []float64
+	cancel := g.Tap(func(id string, s core.Sample) {
+		if s.FromFeature != "" {
+			return
+		}
+		pos, ok := s.Payload.(positioning.Position)
+		if !ok {
+			return
+		}
+		truth, found := tr.At(s.Time)
+		if !found {
+			return
+		}
+		local := pos.Local
+		if !pos.HasLocal {
+			local = b.Projection().ToLocal(pos.Global)
+		}
+		err := local.Distance(truth.Local)
+		switch id {
+		case "interpreter":
+			rawErr = append(rawErr, err)
+		case "particle-filter":
+			pfErr = append(pfErr, err)
+		}
+	})
+	defer cancel()
+
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rawErr) < 20 || len(pfErr) < 20 {
+		t.Fatalf("too few samples: raw %d, pf %d", len(rawErr), len(pfErr))
+	}
+	if len(like.HDOPs()) == 0 {
+		t.Error("likelihood feature collected no HDOPs from data trees")
+	}
+
+	rawRMSE := rmse(rawErr)
+	pfRMSE := rmse(pfErr)
+	t.Logf("corridor walk: raw GPS RMSE %.1f m, particle filter RMSE %.1f m (%.1fx)",
+		rawRMSE, pfRMSE, rawRMSE/pfRMSE)
+	if pfRMSE >= rawRMSE {
+		t.Errorf("particle filter (%.1f m) must beat raw GPS (%.1f m)", pfRMSE, rawRMSE)
+	}
+	// The paper's Fig. 6 shows a clear refinement; require >= 1.5x.
+	if rawRMSE/pfRMSE < 1.5 {
+		t.Errorf("improvement %.2fx below 1.5x", rawRMSE/pfRMSE)
+	}
+}
+
+func TestMovingAverageSmoothing(t *testing.T) {
+	ma := NewMovingAverage("ma", 4)
+	var got []positioning.Position
+	emit := func(s core.Sample) { got = append(got, s.Payload.(positioning.Position)) }
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	// Alternating +2/-2 noise around east=10.
+	for i := 0; i < 12; i++ {
+		e := 10.0 + 2*float64(1-2*(i%2))
+		if err := ma.Process(0, position(e, 6, at, 3), emit); err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(time.Second)
+	}
+	last := got[len(got)-1]
+	if math.Abs(last.Local.East-10) > 0.5 {
+		t.Errorf("smoothed east = %v, want ~10", last.Local.East)
+	}
+	if last.Source != "moving-average" {
+		t.Errorf("source = %q", last.Source)
+	}
+	if !last.HasLocal {
+		t.Error("local lost in averaging")
+	}
+}
+
+func rmse(errs []float64) float64 {
+	var sum float64
+	for _, e := range errs {
+		sum += e * e
+	}
+	return math.Sqrt(sum / float64(len(errs)))
+}
+
+func mustAdd(t *testing.T, g *core.Graph, c core.Component) {
+	t.Helper()
+	if _, err := g.Add(c); err != nil {
+		t.Fatalf("Add(%s): %v", c.ID(), err)
+	}
+}
+
+func mustConnect(t *testing.T, g *core.Graph, from, to string, port int) {
+	t.Helper()
+	if err := g.Connect(from, to, port); err != nil {
+		t.Fatalf("Connect(%s->%s): %v", from, to, err)
+	}
+}

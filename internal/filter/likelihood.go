@@ -1,0 +1,144 @@
+// Package filter implements probabilistic position tracking for PerPos:
+// the particle filter of §3.2 integrated as a Processing Component, the
+// HDOP-driven Likelihood Channel Feature of Fig. 5, and baseline
+// smoothers the evaluation compares against.
+package filter
+
+import (
+	"math"
+	"sync"
+
+	"perpos/internal/channel"
+	"perpos/internal/geo"
+	"perpos/internal/gps"
+	"perpos/internal/positioning"
+)
+
+// FeatureLikelihood is the Channel Feature name of the HDOP likelihood.
+const FeatureLikelihood = "likelihood"
+
+// Likelihood scores how likely it is that a hypothesised position
+// (a particle) is the true position given the current measurement —
+// the getLikelihood(particle) interface of Fig. 5.
+type Likelihood interface {
+	// Likelihood returns an unnormalised probability for the particle
+	// position given the measured position.
+	Likelihood(particle geo.ENU, measured geo.ENU) float64
+}
+
+// HDOPLikelihood is the Likelihood Channel Feature of Fig. 5: attached
+// to the GPS channel, it collects the HDOP values of every NMEA
+// measurement that contributed to the current channel output from the
+// data tree (Apply), and scores particles with a Gaussian whose sigma is
+// the HDOP-scaled error estimate (getLikelihood).
+//
+// It declares its dependency on the HDOP Component Feature, matching
+// the paper: "the feature specifies that it depends on a Processing
+// Component that provides the Component Feature which can access
+// [HDOP] information".
+type HDOPLikelihood struct {
+	uere float64
+
+	mu    sync.Mutex
+	hdops []float64
+}
+
+var (
+	_ channel.RequiringFeature = (*HDOPLikelihood)(nil)
+	_ Likelihood               = (*HDOPLikelihood)(nil)
+)
+
+// NewHDOPLikelihood returns the feature. uere scales HDOP to metres
+// (default 3).
+func NewHDOPLikelihood(uere float64) *HDOPLikelihood {
+	if uere <= 0 {
+		uere = 3
+	}
+	return &HDOPLikelihood{uere: uere}
+}
+
+// FeatureName implements channel.Feature.
+func (f *HDOPLikelihood) FeatureName() string { return FeatureLikelihood }
+
+// Requires implements channel.RequiringFeature.
+func (f *HDOPLikelihood) Requires() channel.Requirements {
+	return channel.Requirements{ComponentFeatures: []string{gps.FeatureHDOP}}
+}
+
+// Apply implements channel.Feature: walk the data tree and collect the
+// HDOP of every contributing NMEA measurement. The feature "must handle
+// the complexity of not knowing the number of layers in the data tree
+// or the number of data chunks of each kind": it scans every entry for
+// the HDOP attribute attached by the Component Feature, plus any
+// feature-emitted HDOP values.
+func (f *HDOPLikelihood) Apply(tree *channel.DataTree) {
+	var hdops []float64
+	for _, e := range tree.All() {
+		if e.Sample.FromFeature == gps.FeatureHDOP {
+			if v, ok := e.Sample.Payload.(float64); ok {
+				hdops = append(hdops, v)
+				continue
+			}
+		}
+		if v, ok := e.Sample.FloatAttr(gps.AttrHDOP); ok {
+			hdops = append(hdops, v)
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hdops = hdops
+}
+
+// HDOPs returns the HDOP values backing the current likelihood.
+func (f *HDOPLikelihood) HDOPs() []float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]float64, len(f.hdops))
+	copy(out, f.hdops)
+	return out
+}
+
+// Sigma returns the current 1-sigma error estimate in metres.
+func (f *HDOPLikelihood) Sigma() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.hdops) == 0 {
+		return 10 * f.uere // nothing known: be permissive
+	}
+	sum := 0.0
+	for _, h := range f.hdops {
+		sum += h
+	}
+	sigma := (sum / float64(len(f.hdops))) * f.uere
+	if sigma < 1 {
+		sigma = 1
+	}
+	return sigma
+}
+
+// Likelihood implements Likelihood with a Gaussian kernel around the
+// measurement, scaled by the HDOP-derived sigma.
+func (f *HDOPLikelihood) Likelihood(particle, measured geo.ENU) float64 {
+	sigma := f.Sigma()
+	d := particle.Distance(measured)
+	return math.Exp(-d * d / (2 * sigma * sigma))
+}
+
+// gaussianLikelihood is the fallback scorer used when no Likelihood
+// channel feature is installed: a fixed-sigma Gaussian from the
+// measurement's own accuracy estimate.
+type gaussianLikelihood struct {
+	fallbackSigma float64
+}
+
+func (g gaussianLikelihood) score(particle, measured geo.ENU, pos positioning.Position) float64 {
+	sigma := pos.Accuracy
+	if sigma <= 0 {
+		sigma = g.fallbackSigma
+	}
+	if sigma < 1 {
+		sigma = 1
+	}
+	d := particle.Distance(measured)
+	return math.Exp(-d * d / (2 * sigma * sigma))
+}

@@ -1,0 +1,410 @@
+// Package gps simulates a consumer GPS receiver and provides the
+// Processing Components of the paper's GPS pipeline (Fig. 1): the
+// Receiver source emitting raw NMEA strings, the Parser turning strings
+// into NMEA measurements, and the Interpreter producing WGS84 positions
+// — plus the HDOP and NumberOfSatellites Component Features of
+// §3.1–3.2.
+//
+// Substitution note (DESIGN.md): the paper used real receivers. The
+// simulator reproduces the behaviours the case studies depend on:
+// HDOP-scaled position noise, satellite-count degradation indoors, the
+// "keeps producing measurements after losing sight of the satellites"
+// failure mode that motivates the §3.1 filter, and acquisition delays
+// plus controllable power state for EnTracked (§3.3).
+package gps
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"perpos/internal/core"
+	"perpos/internal/geo"
+	"perpos/internal/nmea"
+	"perpos/internal/trace"
+)
+
+// Sample kinds of the GPS pipeline.
+const (
+	// KindRaw carries raw NMEA sentence strings from the receiver.
+	KindRaw core.Kind = "gps.raw"
+	// KindSentence carries parsed nmea.Sentence values.
+	KindSentence core.Kind = "gps.sentence"
+)
+
+// Mode is the receiver power state.
+type Mode int
+
+// Receiver power states. The zero value is intentionally invalid so a
+// forgotten initialization is caught.
+const (
+	// ModeOff: the receiver is powered down and produces nothing.
+	ModeOff Mode = iota + 1
+	// ModeAcquiring: powered on, searching for satellites; produces
+	// no-fix sentences.
+	ModeAcquiring
+	// ModeTracking: producing fixes.
+	ModeTracking
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeAcquiring:
+		return "acquiring"
+	case ModeTracking:
+		return "tracking"
+	default:
+		return "invalid"
+	}
+}
+
+// TickFunc observes receiver state per simulated epoch; the energy
+// model uses it to integrate power draw.
+type TickFunc func(mode Mode, d time.Duration)
+
+// Config parameterizes the receiver simulation.
+type Config struct {
+	// Epoch is the output period (default 1 s).
+	Epoch time.Duration
+	// UERE is the user-equivalent range error in metres; horizontal
+	// error is ~ HDOP * UERE (default 3 m).
+	UERE float64
+	// WarmStart is the reacquisition delay after a short power-down
+	// (default 6 s).
+	WarmStart time.Duration
+	// ColdStart is the acquisition delay after a long power-down or at
+	// boot (default 30 s).
+	ColdStart time.Duration
+	// ColdThreshold is the off-duration beyond which reacquisition is
+	// cold (default 10 min).
+	ColdThreshold time.Duration
+	// IndoorDriftRate is the random-walk drift in m per sqrt(s) applied
+	// to indoor "ghost" fixes (default 1.5).
+	IndoorDriftRate float64
+	// Seed makes the simulation deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epoch <= 0 {
+		c.Epoch = time.Second
+	}
+	if c.UERE <= 0 {
+		c.UERE = 3
+	}
+	if c.WarmStart <= 0 {
+		c.WarmStart = 6 * time.Second
+	}
+	if c.ColdStart <= 0 {
+		c.ColdStart = 30 * time.Second
+	}
+	if c.ColdThreshold <= 0 {
+		c.ColdThreshold = 10 * time.Minute
+	}
+	if c.IndoorDriftRate <= 0 {
+		c.IndoorDriftRate = 1.5
+	}
+	return c
+}
+
+// Receiver is a simulated GPS receiver: a Producer source that walks a
+// ground-truth trace and emits raw NMEA strings each epoch. It
+// implements PowerControllable for EnTracked-style duty cycling.
+type Receiver struct {
+	id  string
+	cfg Config
+	tr  *trace.Trace
+	rng *rand.Rand
+
+	now         time.Time
+	end         time.Time
+	mode        Mode
+	offSince    time.Time
+	acquireLeft time.Duration
+
+	drift    geo.ENU // accumulated indoor drift
+	lastSats int
+	onTick   []TickFunc
+
+	emitted    int
+	epochCount int
+}
+
+var _ core.Producer = (*Receiver)(nil)
+
+// ReceiverOption configures a Receiver.
+type ReceiverOption func(*Receiver)
+
+// WithTick installs a per-epoch tick observer (energy accounting,
+// power strategies).
+func WithTick(fn TickFunc) ReceiverOption {
+	return func(r *Receiver) { r.AddTick(fn) }
+}
+
+// StartOff boots the receiver powered down (EnTracked scenarios).
+func StartOff() ReceiverOption {
+	return func(r *Receiver) {
+		r.mode = ModeOff
+		r.offSince = time.Time{} // never been on: cold
+	}
+}
+
+// NewReceiver returns a receiver replaying the given ground-truth trace.
+func NewReceiver(id string, tr *trace.Trace, cfg Config, opts ...ReceiverOption) *Receiver {
+	cfg = cfg.withDefaults()
+	r := &Receiver{
+		id:   id,
+		cfg:  cfg,
+		tr:   tr,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		mode: ModeAcquiring,
+	}
+	r.acquireLeft = cfg.ColdStart
+	if tr.Len() > 0 {
+		r.now = tr.Points[0].Time
+		r.end = tr.Points[tr.Len()-1].Time
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// ID implements core.Component.
+func (r *Receiver) ID() string { return r.id }
+
+// Spec implements core.Component: a source with one raw-string output.
+func (r *Receiver) Spec() core.Spec {
+	return core.Spec{
+		Name:   "GPSReceiver",
+		Output: core.OutputSpec{Kind: KindRaw},
+	}
+}
+
+// Process implements core.Component; sources receive no input.
+func (r *Receiver) Process(int, core.Sample, core.Emit) error { return nil }
+
+// Mode returns the current power state.
+func (r *Receiver) Mode() Mode { return r.mode }
+
+// Now returns the receiver's current simulated time.
+func (r *Receiver) Now() time.Time { return r.now }
+
+// Moving reports whether the device is currently in motion. It stands
+// in for the accelerometer EnTracked [3] uses to detect movement
+// (substitution documented in DESIGN.md): the reading comes from the
+// ground-truth trace, as a real accelerometer's would from the user,
+// and is available even while the GPS is powered down.
+func (r *Receiver) Moving() bool {
+	truth, ok := r.tr.At(r.now)
+	return ok && truth.Speed > 0.1
+}
+
+// AddTick registers an additional per-epoch tick observer.
+func (r *Receiver) AddTick(fn TickFunc) {
+	r.onTick = append(r.onTick, fn)
+}
+
+// PowerOn requests fixes; the receiver enters acquisition (warm or cold
+// depending on how long it was off).
+func (r *Receiver) PowerOn() {
+	if r.mode != ModeOff {
+		return
+	}
+	if r.offSince.IsZero() || r.now.Sub(r.offSince) >= r.cfg.ColdThreshold {
+		r.acquireLeft = r.cfg.ColdStart
+	} else {
+		r.acquireLeft = r.cfg.WarmStart
+	}
+	r.mode = ModeAcquiring
+}
+
+// PowerOff powers the receiver down.
+func (r *Receiver) PowerOff() {
+	if r.mode == ModeOff {
+		return
+	}
+	r.mode = ModeOff
+	r.offSince = r.now
+}
+
+// Emitted returns the number of raw strings emitted so far.
+func (r *Receiver) Emitted() int { return r.emitted }
+
+// Step implements core.Producer: advance one epoch and emit the epoch's
+// NMEA output.
+func (r *Receiver) Step(emit core.Emit) (bool, error) {
+	if r.tr.Len() == 0 || r.now.After(r.end) {
+		return false, nil
+	}
+	truth, _ := r.tr.At(r.now)
+
+	for _, tick := range r.onTick {
+		tick(r.mode, r.cfg.Epoch)
+	}
+
+	switch r.mode {
+	case ModeOff:
+		// Powered down: silence.
+	case ModeAcquiring:
+		r.acquireLeft -= r.cfg.Epoch
+		r.emitRaw(emit, r.noFixGGA())
+		if r.acquireLeft <= 0 {
+			r.mode = ModeTracking
+		}
+	case ModeTracking:
+		r.emitEpoch(emit, truth)
+	}
+
+	r.now = r.now.Add(r.cfg.Epoch)
+	return !r.now.After(r.end), nil
+}
+
+// emitEpoch produces the sentences for one tracking epoch.
+func (r *Receiver) emitEpoch(emit core.Emit, truth trace.Point) {
+	sats, hdop := r.environment(truth)
+	r.lastSats = sats
+
+	if sats < 3 {
+		// No fix at all this epoch.
+		r.emitRaw(emit, r.noFixGGA())
+		return
+	}
+
+	proj := geo.NewProjection(r.tr.Origin)
+	local := truth.Local
+	sigma := hdop * r.cfg.UERE
+	if truth.Indoor {
+		// The drifting ghost fix: the device keeps reporting, anchored
+		// to a random walk around the last good position.
+		step := r.cfg.IndoorDriftRate * math.Sqrt(r.cfg.Epoch.Seconds())
+		r.drift.East += r.rng.NormFloat64() * step
+		r.drift.North += r.rng.NormFloat64() * step
+		local.East += r.drift.East
+		local.North += r.drift.North
+	} else {
+		r.drift = geo.ENU{}
+	}
+	local.East += r.rng.NormFloat64() * sigma
+	local.North += r.rng.NormFloat64() * sigma
+	fix := proj.ToGlobal(local)
+
+	gga := nmea.GGA{
+		Time:          r.now,
+		Lat:           fix.Lat,
+		Lon:           fix.Lon,
+		Quality:       nmea.FixGPS,
+		NumSatellites: sats,
+		HDOP:          round1(hdop),
+		Altitude:      55,
+	}
+	r.emitRaw(emit, mustFormat(gga))
+
+	speedKn := truth.Speed / 0.514444 * (1 + r.rng.NormFloat64()*0.1)
+	if speedKn < 0 {
+		speedKn = 0
+	}
+	rmc := nmea.RMC{
+		Time:    r.now,
+		Valid:   true,
+		Lat:     fix.Lat,
+		Lon:     fix.Lon,
+		SpeedKn: round1(speedKn),
+		CourseT: round1(truth.Heading),
+	}
+	r.emitRaw(emit, mustFormat(rmc))
+
+	gsa := nmea.GSA{
+		Auto:    true,
+		FixMode: 3,
+		PRNs:    prns(sats),
+		PDOP:    round1(hdop * 1.4),
+		HDOP:    round1(hdop),
+		VDOP:    round1(hdop * 1.1),
+	}
+	r.emitRaw(emit, mustFormat(gsa))
+
+	// A satellites-in-view report every fifth epoch, like real
+	// receivers interleave the slow GSV group.
+	r.epochCount++
+	if r.epochCount%5 == 0 {
+		for _, line := range r.gsvGroup(sats) {
+			r.emitRaw(emit, line)
+		}
+	}
+}
+
+// gsvGroup renders the satellites-in-view sentences for the current
+// constellation (up to 4 satellites per sentence).
+func (r *Receiver) gsvGroup(sats int) []string {
+	ids := prns(sats)
+	total := (len(ids) + 3) / 4
+	if total == 0 {
+		return nil
+	}
+	var out []string
+	for msg := 0; msg < total; msg++ {
+		g := nmea.GSV{TotalMsgs: total, MsgNum: msg + 1, TotalInView: len(ids)}
+		for i := msg * 4; i < len(ids) && i < (msg+1)*4; i++ {
+			g.Satellites = append(g.Satellites, nmea.SatelliteInView{
+				PRN:       ids[i],
+				Elevation: 15 + (ids[i]*7)%70,
+				Azimuth:   (ids[i] * 37) % 360,
+				SNR:       30 + r.rng.Intn(15),
+			})
+		}
+		out = append(out, mustFormat(g))
+	}
+	return out
+}
+
+// environment returns the satellite count and HDOP at a ground-truth
+// point. Indoors, visibility collapses and dilution explodes — the
+// seams the §3.1 feature exposes.
+func (r *Receiver) environment(truth trace.Point) (sats int, hdop float64) {
+	if truth.Indoor {
+		sats = 2 + r.rng.Intn(4) // 2..5
+		hdop = 5 + r.rng.Float64()*10
+		return sats, hdop
+	}
+	sats = 7 + r.rng.Intn(5) // 7..11
+	hdop = 0.8 + r.rng.Float64()*0.7
+	return sats, hdop
+}
+
+func (r *Receiver) noFixGGA() string {
+	return mustFormat(nmea.GGA{
+		Time:          r.now,
+		Quality:       nmea.FixInvalid,
+		NumSatellites: r.lastSats,
+		HDOP:          99.9,
+	})
+}
+
+func (r *Receiver) emitRaw(emit core.Emit, line string) {
+	r.emitted++
+	emit(core.NewSample(KindRaw, line, r.now))
+}
+
+// mustFormat formats a sentence the simulator constructed itself; a
+// failure is a programming error.
+func mustFormat(s nmea.Sentence) string {
+	raw, err := nmea.Format(s)
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+func prns(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n && i < 12; i++ {
+		out = append(out, i+2)
+	}
+	return out
+}
+
+func round1(v float64) float64 { return math.Round(v*10) / 10 }

@@ -1,0 +1,130 @@
+package nmea
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Frame wraps a payload (without '$' or checksum) into a complete
+// sentence with checksum and CRLF, ready to be emitted by a receiver.
+func Frame(payload string) string {
+	return fmt.Sprintf("$%s*%02X\r\n", payload, Checksum(payload))
+}
+
+// Format renders a sentence back into its framed wire form. It supports
+// the same sentence types as Parse; Parse(Format(s)) round-trips the
+// fields up to the wire precision (1e-4 minutes, i.e. ~0.2 m).
+func Format(s Sentence) (string, error) {
+	switch v := s.(type) {
+	case GGA:
+		return formatGGA(v), nil
+	case RMC:
+		return formatRMC(v), nil
+	case GSA:
+		return formatGSA(v), nil
+	case GSV:
+		return formatGSV(v), nil
+	default:
+		return "", fmt.Errorf("%w: %T", ErrUnknownType, s)
+	}
+}
+
+func formatGGA(g GGA) string {
+	payload := fmt.Sprintf("GPGGA,%s,%s,%s,%d,%02d,%.1f,%.1f,M,0.0,M,,",
+		formatUTC(g.Time),
+		formatLatLon(g.Lat, true),
+		formatLatLon(g.Lon, false),
+		int(g.Quality),
+		g.NumSatellites,
+		g.HDOP,
+		g.Altitude,
+	)
+	return Frame(payload)
+}
+
+func formatRMC(r RMC) string {
+	status := "V"
+	if r.Valid {
+		status = "A"
+	}
+	date := ""
+	if !r.Time.IsZero() {
+		date = r.Time.Format("020106")
+	}
+	payload := fmt.Sprintf("GPRMC,%s,%s,%s,%s,%.1f,%.1f,%s,,",
+		formatUTC(r.Time),
+		status,
+		formatLatLon(r.Lat, true),
+		formatLatLon(r.Lon, false),
+		r.SpeedKn,
+		r.CourseT,
+		date,
+	)
+	return Frame(payload)
+}
+
+func formatGSA(g GSA) string {
+	mode := "M"
+	if g.Auto {
+		mode = "A"
+	}
+	prns := make([]string, 12)
+	for i := range prns {
+		if i < len(g.PRNs) {
+			prns[i] = fmt.Sprintf("%02d", g.PRNs[i])
+		}
+	}
+	payload := fmt.Sprintf("GPGSA,%s,%d,%s,%.1f,%.1f,%.1f",
+		mode, g.FixMode, strings.Join(prns, ","), g.PDOP, g.HDOP, g.VDOP)
+	return Frame(payload)
+}
+
+func formatGSV(g GSV) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "GPGSV,%d,%d,%02d", g.TotalMsgs, g.MsgNum, g.TotalInView)
+	for _, sv := range g.Satellites {
+		snr := ""
+		if sv.SNR > 0 {
+			snr = fmt.Sprintf("%02d", sv.SNR)
+		}
+		fmt.Fprintf(&b, ",%02d,%02d,%03d,%s", sv.PRN, sv.Elevation, sv.Azimuth, snr)
+	}
+	return Frame(b.String())
+}
+
+// formatUTC renders hhmmss.ss. Zero times render as an empty field.
+func formatUTC(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.Format("150405.00")
+}
+
+// formatLatLon renders signed decimal degrees as "ddmm.mmmm,H".
+func formatLatLon(dd float64, isLat bool) string {
+	hemi := "N"
+	if isLat {
+		if dd < 0 {
+			hemi = "S"
+		}
+	} else {
+		hemi = "E"
+		if dd < 0 {
+			hemi = "W"
+		}
+	}
+	dd = math.Abs(dd)
+	deg := math.Floor(dd)
+	minutes := (dd - deg) * 60
+	// Guard against 60.0000 minutes after rounding.
+	if minutes >= 59.99995 {
+		minutes = 0
+		deg++
+	}
+	if isLat {
+		return fmt.Sprintf("%02d%07.4f,%s", int(deg), minutes, hemi)
+	}
+	return fmt.Sprintf("%03d%07.4f,%s", int(deg), minutes, hemi)
+}

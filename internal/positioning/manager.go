@@ -1,0 +1,201 @@
+package positioning
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"perpos/internal/geo"
+)
+
+// ErrNoProvider indicates that no registered provider matches the
+// criteria.
+var ErrNoProvider = errors.New("positioning: no provider matches criteria")
+
+// Criteria selects a location provider, in the style of the Java
+// Location API (JSR-179) the paper models its top layer on.
+type Criteria struct {
+	// Technology restricts to one source ("" accepts any).
+	Technology string
+	// MaxAccuracy is the worst acceptable typical accuracy in metres
+	// (0 accepts any).
+	MaxAccuracy float64
+	// RoomLevel requires symbolic room output.
+	RoomLevel bool
+	// RequiredFeatures must all be reachable through the provider —
+	// applications can demand the seams they need (e.g. "likelihood").
+	RequiredFeatures []string
+}
+
+// Manager is the provider registry applications request providers from.
+// The zero value is ready to use.
+type Manager struct {
+	mu        sync.Mutex
+	providers map[string]*Provider
+	order     []string
+	targets   map[string]*Target
+}
+
+// Register adds a provider under its name.
+func (m *Manager) Register(p *Provider) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.providers == nil {
+		m.providers = make(map[string]*Provider)
+	}
+	if _, ok := m.providers[p.Name()]; ok {
+		return fmt.Errorf("positioning: provider %q already registered", p.Name())
+	}
+	m.providers[p.Name()] = p
+	m.order = append(m.order, p.Name())
+	return nil
+}
+
+// Providers returns the registered providers in registration order.
+func (m *Manager) Providers() []*Provider {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Provider, 0, len(m.order))
+	for _, name := range m.order {
+		out = append(out, m.providers[name])
+	}
+	return out
+}
+
+// Provider returns the best provider matching the criteria: among the
+// matches, the one with the best (smallest) typical accuracy.
+func (m *Manager) Provider(c Criteria) (*Provider, error) {
+	var best *Provider
+	for _, p := range m.Providers() {
+		if !matches(p, c) {
+			continue
+		}
+		if best == nil || p.Info().TypicalAccuracy < best.Info().TypicalAccuracy {
+			best = p
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: %+v", ErrNoProvider, c)
+	}
+	return best, nil
+}
+
+func matches(p *Provider, c Criteria) bool {
+	info := p.Info()
+	if c.Technology != "" && info.Technology != c.Technology {
+		return false
+	}
+	if c.MaxAccuracy > 0 && (info.TypicalAccuracy == 0 || info.TypicalAccuracy > c.MaxAccuracy) {
+		return false
+	}
+	if c.RoomLevel && !info.RoomLevel {
+		return false
+	}
+	for _, f := range c.RequiredFeatures {
+		if _, ok := p.Feature(f); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Target is a tracked entity with one or more attached providers (§2.3:
+// "definition of tracked targets, which may have several sensors
+// attached to them").
+type Target struct {
+	id string
+
+	mu        sync.Mutex
+	providers []*Provider
+}
+
+// ID returns the target identifier.
+func (t *Target) ID() string { return t.id }
+
+// Last returns the freshest position across the target's providers.
+func (t *Target) Last() (Position, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var best Position
+	found := false
+	for _, p := range t.providers {
+		pos, ok := p.Last()
+		if !ok {
+			continue
+		}
+		if !found || pos.Time.After(best.Time) {
+			best = pos
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Attach adds a provider to the target.
+func (t *Target) Attach(p *Provider) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.providers = append(t.providers, p)
+}
+
+// Track registers (or returns) the target with the given ID.
+func (m *Manager) Track(id string) *Target {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.targets == nil {
+		m.targets = make(map[string]*Target)
+	}
+	if t, ok := m.targets[id]; ok {
+		return t
+	}
+	t := &Target{id: id}
+	m.targets[id] = t
+	return t
+}
+
+// Targets returns all tracked targets, sorted by ID.
+func (m *Manager) Targets() []*Target {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Target, 0, len(m.targets))
+	for _, t := range m.targets {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Neighbor is one k-nearest result.
+type Neighbor struct {
+	Target   *Target
+	Position Position
+	Distance float64
+}
+
+// KNearest returns the k tracked targets nearest to the given point,
+// by last known position (§2.3 "the k-nearest targets").
+func (m *Manager) KNearest(from geo.Point, k int) []Neighbor {
+	var all []Neighbor
+	for _, t := range m.Targets() {
+		pos, ok := t.Last()
+		if !ok {
+			continue
+		}
+		all = append(all, Neighbor{
+			Target:   t,
+			Position: pos,
+			Distance: from.DistanceTo(pos.Global),
+		})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Distance != all[j].Distance {
+			return all[i].Distance < all[j].Distance
+		}
+		return all[i].Target.ID() < all[j].Target.ID()
+	})
+	if k > 0 && k < len(all) {
+		all = all[:k]
+	}
+	return all
+}

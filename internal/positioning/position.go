@@ -1,0 +1,65 @@
+// Package positioning implements the PerPos Positioning Layer (paper
+// §2.3): the traditional, technology-transparent API location-aware
+// applications program against — location providers selected by
+// criteria, push and pull position retrieval, proximity notifications,
+// tracked targets and k-nearest queries — while still surfacing the
+// Channel Features installed in the layers below (the translucency that
+// distinguishes PerPos from closed positioning middleware).
+//
+// It also defines Position, the technology-independent position datum
+// produced by the top of every positioning pipeline. Technology detail
+// beyond these fields deliberately does not live here: it travels as
+// sample attributes or feature data in the lower layers, which is the
+// paper's answer to the position-format bloat of Location Stack-style
+// middleware.
+package positioning
+
+import (
+	"fmt"
+	"time"
+
+	"perpos/internal/geo"
+)
+
+// KindPosition is the sample kind carrying Position payloads.
+const KindPosition = "position"
+
+// KindRoom is the sample kind carrying room-ID string payloads produced
+// by Resolver-style components.
+const KindRoom = "position.room"
+
+// Position is a technology-independent position estimate.
+type Position struct {
+	// Time is the estimate's timestamp.
+	Time time.Time `json:"time"`
+	// Global is the WGS84 position.
+	Global geo.Point `json:"global"`
+	// Local is the building-local position; valid when HasLocal is set.
+	Local geo.ENU `json:"local,omitempty"`
+	// HasLocal reports whether Local is meaningful.
+	HasLocal bool `json:"hasLocal,omitempty"`
+	// Floor is the building level of Local.
+	Floor int `json:"floor,omitempty"`
+	// Accuracy is the 1-sigma horizontal error estimate in metres;
+	// 0 means unknown.
+	Accuracy float64 `json:"accuracy,omitempty"`
+	// Source names the producing technology ("gps", "wifi",
+	// "particle-filter").
+	Source string `json:"source,omitempty"`
+	// RoomID is the symbolic room, when resolved.
+	RoomID string `json:"roomId,omitempty"`
+}
+
+// String renders the position for logs.
+func (p Position) String() string {
+	if p.RoomID != "" {
+		return fmt.Sprintf("%s [room %s] ±%.1fm (%s)", p.Global, p.RoomID, p.Accuracy, p.Source)
+	}
+	return fmt.Sprintf("%s ±%.1fm (%s)", p.Global, p.Accuracy, p.Source)
+}
+
+// DistanceTo returns the great-circle distance in metres to another
+// position.
+func (p Position) DistanceTo(q Position) float64 {
+	return p.Global.DistanceTo(q.Global)
+}

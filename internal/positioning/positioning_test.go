@@ -1,0 +1,290 @@
+package positioning
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"perpos/internal/core"
+	"perpos/internal/geo"
+)
+
+var origin = geo.Point{Lat: 56.1629, Lon: 10.2039}
+
+func posAt(p geo.Point, at time.Time, acc float64, source string) Position {
+	return Position{Time: at, Global: p, Accuracy: acc, Source: source}
+}
+
+func TestProviderPushPull(t *testing.T) {
+	p := NewProvider("gps", ProviderInfo{Technology: "gps", TypicalAccuracy: 5}, nil)
+	if _, ok := p.Last(); ok {
+		t.Error("fresh provider has a last position")
+	}
+
+	var pushed []Position
+	cancel := p.Subscribe(func(pos Position) { pushed = append(pushed, pos) })
+
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	p.Deliver(posAt(origin, at, 4, "gps"))
+	last, ok := p.Last()
+	if !ok || last.Accuracy != 4 {
+		t.Errorf("Last = %+v, %v", last, ok)
+	}
+	if len(pushed) != 1 {
+		t.Fatalf("pushed = %d, want 1", len(pushed))
+	}
+
+	cancel()
+	p.Deliver(posAt(origin, at.Add(time.Second), 4, "gps"))
+	if len(pushed) != 1 {
+		t.Error("subscription fired after cancel")
+	}
+	if last, _ = p.Last(); !last.Time.After(at) {
+		t.Error("Last not updated after cancel")
+	}
+}
+
+func TestProximityNotificationEdgeTriggered(t *testing.T) {
+	p := NewProvider("gps", ProviderInfo{}, nil)
+	center := origin
+	var fires int
+	cancel := p.NotifyProximity(center, 50, func(Position) { fires++ })
+	defer cancel()
+
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	deliver := func(dist float64) {
+		p.Deliver(posAt(center.Offset(dist, 90), at, 3, "gps"))
+		at = at.Add(time.Second)
+	}
+
+	deliver(200) // outside
+	if fires != 0 {
+		t.Fatal("fired while outside")
+	}
+	deliver(10) // enter
+	if fires != 1 {
+		t.Fatalf("fires = %d after entering, want 1", fires)
+	}
+	deliver(20) // still inside: no re-fire
+	deliver(30)
+	if fires != 1 {
+		t.Fatalf("fires = %d while dwelling, want 1", fires)
+	}
+	deliver(200) // exit
+	deliver(5)   // re-enter
+	if fires != 2 {
+		t.Fatalf("fires = %d after re-entry, want 2", fires)
+	}
+}
+
+func TestProviderFeatureLookup(t *testing.T) {
+	lookup := func(name string) (any, bool) {
+		if name == "likelihood" {
+			return "the-feature", true
+		}
+		return nil, false
+	}
+	p := NewProvider("pf", ProviderInfo{Technology: "particle-filter"}, lookup)
+	if f, ok := p.Feature("likelihood"); !ok || f != "the-feature" {
+		t.Errorf("Feature = %v/%v", f, ok)
+	}
+	if _, ok := p.Feature("absent"); ok {
+		t.Error("absent feature resolved")
+	}
+	bare := NewProvider("bare", ProviderInfo{}, nil)
+	if _, ok := bare.Feature("anything"); ok {
+		t.Error("nil lookup resolved a feature")
+	}
+}
+
+func TestProviderSinkDelivers(t *testing.T) {
+	p := NewProvider("gps", ProviderInfo{}, nil)
+	sink := NewProviderSink("app", p)
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	pos := posAt(origin, at, 3, "gps")
+	if err := sink.Process(0, core.NewSample(KindPosition, pos, at), nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := p.Last()
+	if !ok || got.Accuracy != 3 {
+		t.Errorf("Last = %+v, %v", got, ok)
+	}
+	// Non-position payloads are ignored, not fatal.
+	if err := sink.Process(0, core.NewSample(KindPosition, 42, at), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManagerCriteriaMatching(t *testing.T) {
+	m := &Manager{}
+	gps := NewProvider("gps", ProviderInfo{Technology: "gps", TypicalAccuracy: 5}, nil)
+	wifi := NewProvider("wifi", ProviderInfo{Technology: "wifi", TypicalAccuracy: 3, RoomLevel: true}, nil)
+	pf := NewProvider("pf", ProviderInfo{Technology: "particle-filter", TypicalAccuracy: 2,
+		Features: []string{"likelihood"}},
+		func(name string) (any, bool) { return nil, name == "likelihood" })
+	for _, p := range []*Provider{gps, wifi, pf} {
+		if err := m.Register(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Register(gps); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+
+	tests := []struct {
+		name string
+		c    Criteria
+		want string
+	}{
+		{"any -> best accuracy", Criteria{}, "pf"},
+		{"by technology", Criteria{Technology: "gps"}, "gps"},
+		{"room level", Criteria{RoomLevel: true}, "wifi"},
+		{"accuracy bound", Criteria{MaxAccuracy: 4, Technology: "wifi"}, "wifi"},
+		{"required feature", Criteria{RequiredFeatures: []string{"likelihood"}}, "pf"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, err := m.Provider(tt.c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Name() != tt.want {
+				t.Errorf("Provider(%+v) = %s, want %s", tt.c, p.Name(), tt.want)
+			}
+		})
+	}
+
+	t.Run("no match", func(t *testing.T) {
+		_, err := m.Provider(Criteria{Technology: "sonar"})
+		if !errors.Is(err, ErrNoProvider) {
+			t.Errorf("error = %v, want ErrNoProvider", err)
+		}
+		_, err = m.Provider(Criteria{MaxAccuracy: 1})
+		if !errors.Is(err, ErrNoProvider) {
+			t.Errorf("accuracy error = %v, want ErrNoProvider", err)
+		}
+		_, err = m.Provider(Criteria{RequiredFeatures: []string{"teleportation"}})
+		if !errors.Is(err, ErrNoProvider) {
+			t.Errorf("feature error = %v, want ErrNoProvider", err)
+		}
+	})
+}
+
+func TestTargetsAndKNearest(t *testing.T) {
+	m := &Manager{}
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+	mkTarget := func(id string, dist float64) {
+		p := NewProvider(id+"-gps", ProviderInfo{Technology: "gps"}, nil)
+		if err := m.Register(p); err != nil {
+			t.Fatal(err)
+		}
+		tgt := m.Track(id)
+		tgt.Attach(p)
+		p.Deliver(posAt(origin.Offset(dist, 0), at, 3, "gps"))
+	}
+	mkTarget("alice", 10)
+	mkTarget("bob", 100)
+	mkTarget("carol", 40)
+
+	// An untracked target with no position does not appear.
+	m.Track("ghost")
+
+	near := m.KNearest(origin, 2)
+	if len(near) != 2 {
+		t.Fatalf("KNearest = %d entries", len(near))
+	}
+	if near[0].Target.ID() != "alice" || near[1].Target.ID() != "carol" {
+		t.Errorf("order = %s, %s", near[0].Target.ID(), near[1].Target.ID())
+	}
+	if near[0].Distance > near[1].Distance {
+		t.Error("distances unsorted")
+	}
+
+	all := m.KNearest(origin, 0)
+	if len(all) != 3 {
+		t.Errorf("k=0 returned %d, want all 3", len(all))
+	}
+
+	// Track returns the same target for the same ID.
+	if m.Track("alice") != m.Track("alice") {
+		t.Error("Track not idempotent")
+	}
+	if got := len(m.Targets()); got != 4 {
+		t.Errorf("Targets = %d, want 4", got)
+	}
+}
+
+func TestTargetFreshestAcrossProviders(t *testing.T) {
+	m := &Manager{}
+	old := NewProvider("old", ProviderInfo{}, nil)
+	fresh := NewProvider("fresh", ProviderInfo{}, nil)
+	tgt := m.Track("t")
+	tgt.Attach(old)
+	tgt.Attach(fresh)
+
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	old.Deliver(posAt(origin, at, 10, "gps"))
+	fresh.Deliver(posAt(origin.Offset(5, 0), at.Add(time.Minute), 3, "wifi"))
+
+	got, ok := tgt.Last()
+	if !ok || got.Source != "wifi" {
+		t.Errorf("Last = %+v, want the fresher wifi position", got)
+	}
+
+	empty := m.Track("empty")
+	if _, ok := empty.Last(); ok {
+		t.Error("empty target reported a position")
+	}
+}
+
+func TestPositionString(t *testing.T) {
+	p := Position{Global: origin, Accuracy: 3.2, Source: "gps"}
+	if s := p.String(); s == "" {
+		t.Error("empty String")
+	}
+	p.RoomID = "N1"
+	if s := p.String(); s == "" {
+		t.Error("empty String with room")
+	}
+}
+
+func TestPositionDistanceTo(t *testing.T) {
+	a := Position{Global: origin}
+	b := Position{Global: origin.Offset(100, 45)}
+	d := a.DistanceTo(b)
+	if d < 99 || d > 101 {
+		t.Errorf("DistanceTo = %v, want ~100", d)
+	}
+}
+
+func TestNotifyRoomChange(t *testing.T) {
+	p := NewProvider("wifi", ProviderInfo{RoomLevel: true}, nil)
+	var events []string
+	cancel := p.NotifyRoomChange(func(room string, _ Position) {
+		events = append(events, room)
+	})
+	defer cancel()
+
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	deliver := func(room string) {
+		p.Deliver(Position{Time: at, Global: origin, RoomID: room})
+		at = at.Add(time.Second)
+	}
+	deliver("N1")
+	deliver("N1") // no change
+	deliver("corridor")
+	deliver("corridor")
+	deliver("") // outdoors
+	deliver("N1")
+
+	want := []string{"N1", "corridor", "", "N1"}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Errorf("event %d = %q, want %q", i, events[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"perpos/internal/core"
+)
+
+// Uplink is a Processing Component that forwards every sample arriving
+// at its input port to a remote Downlink over TCP — the device side of
+// the Fig. 7 split. It dials lazily on first use and redials (with a
+// short backoff) after connection failures; samples that cannot be sent
+// are counted and dropped, since positioning data is perishable.
+type Uplink struct {
+	id      string
+	addr    string
+	accepts []core.Kind
+	codecs  Codecs
+
+	mu      sync.Mutex
+	conn    net.Conn
+	lastTry time.Time
+	backoff time.Duration
+	sent    int
+	dropped int
+}
+
+var _ core.Component = (*Uplink)(nil)
+
+// NewUplink returns an uplink forwarding the given kinds to addr.
+func NewUplink(id, addr string, accepts []core.Kind, codecs Codecs) *Uplink {
+	if len(accepts) == 0 {
+		accepts = []core.Kind{core.KindAny}
+	}
+	if codecs == nil {
+		codecs = DefaultCodecs()
+	}
+	return &Uplink{
+		id:      id,
+		addr:    addr,
+		accepts: accepts,
+		codecs:  codecs,
+		backoff: 200 * time.Millisecond,
+	}
+}
+
+// ID implements core.Component.
+func (u *Uplink) ID() string { return u.id }
+
+// Spec implements core.Component: a sink from the local graph's point
+// of view (the data continues on the peer).
+func (u *Uplink) Spec() core.Spec {
+	return core.Spec{
+		Name:   "Uplink",
+		Inputs: []core.PortSpec{{Name: "in", Accepts: u.accepts}},
+	}
+}
+
+// Process implements core.Component.
+func (u *Uplink) Process(_ int, in core.Sample, _ core.Emit) error {
+	body, err := encodeSample(in, u.codecs)
+	if err != nil {
+		// Unencodable kinds are a wiring bug worth surfacing.
+		return err
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if err := u.sendLocked(body); err != nil {
+		// One retry after redial, then drop: position data is
+		// perishable and must not wedge the pipeline.
+		if err := u.sendLocked(body); err != nil {
+			u.dropped++
+			return nil
+		}
+	}
+	u.sent++
+	return nil
+}
+
+func (u *Uplink) sendLocked(body []byte) error {
+	if u.conn == nil {
+		if time.Since(u.lastTry) < u.backoff {
+			return fmt.Errorf("remote: uplink %q backing off", u.id)
+		}
+		u.lastTry = time.Now()
+		conn, err := net.DialTimeout("tcp", u.addr, 2*time.Second)
+		if err != nil {
+			return fmt.Errorf("dial %s: %w", u.addr, err)
+		}
+		u.conn = conn
+	}
+	if err := writeFrame(u.conn, body); err != nil {
+		_ = u.conn.Close()
+		u.conn = nil
+		return err
+	}
+	return nil
+}
+
+// Stats returns (sent, dropped) counts.
+func (u *Uplink) Stats() (sent, dropped int) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.sent, u.dropped
+}
+
+// Close shuts the connection down.
+func (u *Uplink) Close() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.conn == nil {
+		return nil
+	}
+	err := u.conn.Close()
+	u.conn = nil
+	return err
+}
+
+// Downlink is the server-side source component: received samples are
+// re-emitted through its output port as if produced locally, preserving
+// the envelope (time, attributes) so timing-dependent features keep
+// working across the host boundary.
+type Downlink struct {
+	id  string
+	out core.OutputSpec
+
+	mu       sync.Mutex
+	received int
+}
+
+var _ core.Component = (*Downlink)(nil)
+
+// NewDownlink returns a downlink source declaring the given output.
+func NewDownlink(id string, out core.OutputSpec) *Downlink {
+	return &Downlink{id: id, out: out}
+}
+
+// ID implements core.Component.
+func (d *Downlink) ID() string { return d.id }
+
+// Spec implements core.Component.
+func (d *Downlink) Spec() core.Spec {
+	return core.Spec{Name: "Downlink", Output: d.out}
+}
+
+// Process implements core.Component; downlinks have no graph inputs.
+func (d *Downlink) Process(int, core.Sample, core.Emit) error { return nil }
+
+// Received returns how many samples arrived over the network.
+func (d *Downlink) Received() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.received
+}
+
+// Server accepts uplink connections and injects received samples into a
+// graph through a Downlink component. Use one Server per Downlink.
+type Server struct {
+	ln     net.Listener
+	codecs Codecs
+	g      *core.Graph
+	dl     *Downlink
+
+	mu     sync.Mutex
+	errs   []error
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:0") and injects every
+// received sample into g as an emission of the given Downlink, which
+// must already be added to g. Injection runs on receiver goroutines;
+// run the graph with the async Runner, or make sure no local source is
+// being stepped concurrently.
+func Serve(addr string, g *core.Graph, dl *Downlink, codecs Codecs) (*Server, error) {
+	if codecs == nil {
+		codecs = DefaultCodecs()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, codecs: codecs, g: g, dl: dl, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.readLoop(conn)
+	}
+}
+
+func (s *Server) readLoop(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		body, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken peer: drop the connection
+		}
+		sample, err := decodeSample(body, s.codecs)
+		if err != nil {
+			s.noteErr(err)
+			continue
+		}
+		// Preserve the received envelope fields that matter (time,
+		// attrs); the local graph restamps Source/Logical/Spans. The
+		// received counter increments only after the sample has fully
+		// propagated, so callers can use Received() as a processing
+		// barrier (lockstep simulations rely on this).
+		if err := s.g.Inject(s.dl.ID(), sample); err != nil {
+			s.noteErr(err)
+		}
+		s.dl.mu.Lock()
+		s.dl.received++
+		s.dl.mu.Unlock()
+	}
+}
+
+func (s *Server) noteErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.errs) < 64 {
+		s.errs = append(s.errs, err)
+	}
+}
+
+// Errs returns decode/inject errors collected so far.
+func (s *Server) Errs() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]error, len(s.errs))
+	copy(out, s.errs)
+	return out
+}
+
+// Close stops the listener and waits for receiver goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}

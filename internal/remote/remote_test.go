@@ -1,0 +1,364 @@
+package remote
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"perpos/internal/core"
+	"perpos/internal/geo"
+	"perpos/internal/gps"
+	"perpos/internal/positioning"
+	"perpos/internal/trace"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte(`{"hello":"world"}`)
+	if err := writeFrame(&buf, body); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Errorf("frame round trip: %s", got)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("write error = %v, want ErrFrameTooLarge", err)
+	}
+	// A hostile header claiming a huge body must be rejected.
+	buf.Reset()
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := readFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("read error = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestSampleCodecRoundTrip(t *testing.T) {
+	codecs := DefaultCodecs()
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+	t.Run("raw string", func(t *testing.T) {
+		in := core.NewSample("gps.raw", "$GPGGA,x", at)
+		in.Source = "gps"
+		in.Logical = 7
+		in.Spans = []core.Span{{Source: "a", From: 1, To: 3}}
+		in = in.WithAttr("hdop", 1.5)
+
+		body, err := encodeSample(in, codecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := decodeSample(body, codecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Payload.(string) != "$GPGGA,x" || out.Source != "gps" || out.Logical != 7 {
+			t.Errorf("round trip = %+v", out)
+		}
+		if len(out.Spans) != 1 || out.Spans[0] != in.Spans[0] {
+			t.Errorf("spans = %v", out.Spans)
+		}
+		if v, ok := out.FloatAttr("hdop"); !ok || v != 1.5 {
+			t.Errorf("hdop attr = %v/%v", v, ok)
+		}
+		if !out.Time.Equal(at) {
+			t.Errorf("time = %v", out.Time)
+		}
+	})
+
+	t.Run("position", func(t *testing.T) {
+		pos := positioning.Position{
+			Time:     at,
+			Global:   geo.Point{Lat: 56.1, Lon: 10.2},
+			Accuracy: 3.5,
+			Source:   "gps",
+			RoomID:   "N1",
+		}
+		in := core.NewSample(positioning.KindPosition, pos, at)
+		body, err := encodeSample(in, codecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := decodeSample(body, codecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := out.Payload.(positioning.Position)
+		if got.Global != pos.Global || got.Accuracy != pos.Accuracy || got.RoomID != "N1" {
+			t.Errorf("position round trip = %+v", got)
+		}
+	})
+
+	t.Run("unknown kind", func(t *testing.T) {
+		in := core.NewSample("mystery", 1, at)
+		if _, err := encodeSample(in, codecs); !errors.Is(err, ErrNoCodec) {
+			t.Errorf("encode error = %v, want ErrNoCodec", err)
+		}
+	})
+}
+
+func TestDecodeErrors(t *testing.T) {
+	codecs := DefaultCodecs()
+	if _, err := decodeSample([]byte("not json"), codecs); err == nil {
+		t.Error("garbage frame decoded")
+	}
+	if _, err := decodeSample([]byte(`{"kind":"mystery","payload":1}`), codecs); !errors.Is(err, ErrNoCodec) {
+		t.Errorf("unknown-kind error = %v, want ErrNoCodec", err)
+	}
+	if _, err := decodeSample([]byte(`{"kind":"gps.raw","payload":123}`), codecs); err == nil {
+		t.Error("mistyped payload decoded")
+	}
+}
+
+// TestDeviceServerSplit reproduces the Fig. 7 deployment: the GPS
+// receiver runs in a "device" graph whose uplink crosses TCP to a
+// "server" graph running Parser and Interpreter.
+func TestDeviceServerSplit(t *testing.T) {
+	// Server graph: downlink -> parser -> interpreter -> sink.
+	server := core.New()
+	dl := NewDownlink("downlink", core.OutputSpec{Kind: gps.KindRaw})
+	if _, err := server.Add(dl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Add(gps.NewParser("parser")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Add(gps.NewInterpreter("interpreter", 0)); err != nil {
+		t.Fatal(err)
+	}
+	sink := core.NewSink("app", []core.Kind{positioning.KindPosition})
+	if _, err := server.Add(sink); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ from, to string }{
+		{"downlink", "parser"}, {"parser", "interpreter"}, {"interpreter", "app"},
+	} {
+		if err := server.Connect(c.from, c.to, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := Serve("127.0.0.1:0", server, dl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Device graph: receiver -> uplink.
+	device := core.New()
+	tr := trace.OutdoorTrack(geo.Point{Lat: 56.16, Lon: 10.2}, 3, 2, 100, 1.4, time.Second)
+	if _, err := device.Add(gps.NewReceiver("gps", tr, gps.Config{Seed: 5, ColdStart: time.Second})); err != nil {
+		t.Fatal(err)
+	}
+	up := NewUplink("uplink", srv.Addr(), []core.Kind{gps.KindRaw}, nil)
+	defer up.Close()
+	if _, err := device.Add(up); err != nil {
+		t.Fatal(err)
+	}
+	if err := device.Connect("gps", "uplink", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := device.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the server to drain the socket.
+	deadline := time.Now().Add(5 * time.Second)
+	sent, _ := up.Stats()
+	for dl.Received() < sent && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if sent == 0 {
+		t.Fatal("uplink sent nothing")
+	}
+	if dl.Received() != sent {
+		t.Errorf("received %d of %d frames", dl.Received(), sent)
+	}
+	if sink.Len() == 0 {
+		t.Error("no positions produced on the server side")
+	}
+	if errs := srv.Errs(); len(errs) > 0 {
+		t.Errorf("server errors: %v", errs)
+	}
+	// Positions retain full timestamps across the wire.
+	if got, ok := sink.Last(); ok {
+		pos := got.Payload.(positioning.Position)
+		if pos.Time.Year() != 2026 {
+			t.Errorf("timestamp lost in transit: %v", pos.Time)
+		}
+	}
+}
+
+func TestUplinkDropsWhenPeerGone(t *testing.T) {
+	// Dial target that refuses connections: samples are dropped, not
+	// errors.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens now
+
+	up := NewUplink("uplink", addr, []core.Kind{"gps.raw"}, nil)
+	defer up.Close()
+	s := core.NewSample("gps.raw", "$line", time.Time{})
+	for i := 0; i < 3; i++ {
+		if err := up.Process(0, s, nil); err != nil {
+			t.Fatalf("Process returned %v; drops must be silent", err)
+		}
+	}
+	sent, dropped := up.Stats()
+	if sent != 0 || dropped != 3 {
+		t.Errorf("stats = %d sent %d dropped, want 0/3", sent, dropped)
+	}
+}
+
+func TestUplinkSurfacesCodecBug(t *testing.T) {
+	up := NewUplink("uplink", "127.0.0.1:1", []core.Kind{"weird"}, Codecs{})
+	err := up.Process(0, core.NewSample("weird", 1, time.Time{}), nil)
+	if !errors.Is(err, ErrNoCodec) {
+		t.Errorf("error = %v, want ErrNoCodec", err)
+	}
+}
+
+func TestServerRejectsGarbageFrames(t *testing.T) {
+	g := core.New()
+	dl := NewDownlink("downlink", core.OutputSpec{Kind: gps.KindRaw})
+	if _, err := g.Add(dl); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve("127.0.0.1:0", g, dl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	// A valid frame after the bad one still lands.
+	body, err := encodeSample(core.NewSample("gps.raw", "$x", time.Time{}), DefaultCodecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, body); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for dl.Received() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if dl.Received() != 1 {
+		t.Errorf("received = %d, want 1", dl.Received())
+	}
+	if len(srv.Errs()) == 0 {
+		t.Error("garbage frame produced no recorded error")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	g := core.New()
+	dl := NewDownlink("downlink", core.OutputSpec{Kind: gps.KindRaw})
+	if _, err := g.Add(dl); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve("127.0.0.1:0", g, dl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close = %v", err)
+	}
+	if !strings.Contains(srv.Addr(), ":") {
+		t.Errorf("Addr = %q", srv.Addr())
+	}
+}
+
+func TestUplinkReconnectsAfterServerRestart(t *testing.T) {
+	// First server.
+	g1 := core.New()
+	dl1 := NewDownlink("downlink", core.OutputSpec{Kind: gps.KindRaw})
+	if _, err := g1.Add(dl1); err != nil {
+		t.Fatal(err)
+	}
+	srv1, err := Serve("127.0.0.1:0", g1, dl1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv1.Addr()
+
+	up := NewUplink("uplink", addr, []core.Kind{gps.KindRaw}, nil)
+	defer up.Close()
+	s := core.NewSample(gps.KindRaw, "$one", time.Time{})
+	if err := up.Process(0, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for dl1.Received() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if dl1.Received() != 1 {
+		t.Fatal("first frame not delivered")
+	}
+
+	// Kill the server; the next send fails and is dropped.
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := up.Process(0, s, nil); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(250 * time.Millisecond) // let the backoff expire
+	}
+
+	// New server on the same address.
+	g2 := core.New()
+	dl2 := NewDownlink("downlink", core.OutputSpec{Kind: gps.KindRaw})
+	if _, err := g2.Add(dl2); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := Serve(addr, g2, dl2, nil)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	// After the backoff the uplink redials and delivery resumes.
+	delivered := false
+	for attempt := 0; attempt < 20 && !delivered; attempt++ {
+		if err := up.Process(0, s, nil); err != nil {
+			t.Fatal(err)
+		}
+		waitUntil := time.Now().Add(300 * time.Millisecond)
+		for time.Now().Before(waitUntil) {
+			if dl2.Received() >= 1 {
+				delivered = true
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !delivered {
+		t.Error("uplink never reconnected to the restarted server")
+	}
+}

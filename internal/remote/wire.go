@@ -1,0 +1,185 @@
+// Package remote distributes a PerPos processing graph across hosts,
+// standing in for the D-OSGi remote services the paper relied on
+// ("because OSGi supports transparent distribution of services through
+// the D-OSGi specification the processing graph can span several hosts
+// with little added configuration overhead", §3.3).
+//
+// An Uplink component forwards every sample arriving at its input port
+// over TCP; a Downlink on the peer re-emits received samples into the
+// remote graph as if produced locally. Samples travel as length-
+// prefixed JSON frames; payload decoding is per-kind, via Codecs.
+package remote
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"perpos/internal/core"
+	"perpos/internal/positioning"
+)
+
+// MaxFrame is the largest accepted wire frame in bytes.
+const MaxFrame = 1 << 20
+
+// Errors returned by the wire layer.
+var (
+	// ErrFrameTooLarge indicates an oversized frame.
+	ErrFrameTooLarge = errors.New("remote: frame exceeds MaxFrame")
+	// ErrNoCodec indicates a sample kind without a registered codec.
+	ErrNoCodec = errors.New("remote: no codec for kind")
+)
+
+// Codec converts one kind's payload to and from JSON.
+type Codec struct {
+	// Encode marshals an in-memory payload. A nil Encode uses
+	// json.Marshal.
+	Encode func(payload any) (json.RawMessage, error)
+	// Decode unmarshals a received payload.
+	Decode func(raw json.RawMessage) (any, error)
+}
+
+// Codecs maps sample kinds to codecs.
+type Codecs map[core.Kind]Codec
+
+// StringCodec handles string payloads (raw NMEA lines).
+func StringCodec() Codec {
+	return Codec{
+		Decode: func(raw json.RawMessage) (any, error) {
+			var s string
+			if err := json.Unmarshal(raw, &s); err != nil {
+				return nil, err
+			}
+			return s, nil
+		},
+	}
+}
+
+// PositionCodec handles positioning.Position payloads.
+func PositionCodec() Codec {
+	return Codec{
+		Decode: func(raw json.RawMessage) (any, error) {
+			var p positioning.Position
+			if err := json.Unmarshal(raw, &p); err != nil {
+				return nil, err
+			}
+			return p, nil
+		},
+	}
+}
+
+// DefaultCodecs covers the kinds that cross host boundaries in the
+// shipped pipelines.
+func DefaultCodecs() Codecs {
+	return Codecs{
+		"gps.raw":                StringCodec(),
+		positioning.KindPosition: PositionCodec(),
+		positioning.KindRoom:     StringCodec(),
+	}
+}
+
+// wireSample is the JSON frame body.
+type wireSample struct {
+	Kind        core.Kind        `json:"kind"`
+	Time        time.Time        `json:"time"`
+	Source      string           `json:"source,omitempty"`
+	Logical     core.LogicalTime `json:"logical,omitempty"`
+	Spans       []core.Span      `json:"spans,omitempty"`
+	FromFeature string           `json:"fromFeature,omitempty"`
+	Attrs       map[string]any   `json:"attrs,omitempty"`
+	Payload     json.RawMessage  `json:"payload"`
+}
+
+// encodeSample converts a sample to its frame body.
+func encodeSample(s core.Sample, codecs Codecs) ([]byte, error) {
+	c, ok := codecs[s.Kind]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoCodec, s.Kind)
+	}
+	var payload json.RawMessage
+	var err error
+	if c.Encode != nil {
+		payload, err = c.Encode(s.Payload)
+	} else {
+		payload, err = json.Marshal(s.Payload)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("encode %q payload: %w", s.Kind, err)
+	}
+	body, err := json.Marshal(wireSample{
+		Kind:        s.Kind,
+		Time:        s.Time,
+		Source:      s.Source,
+		Logical:     s.Logical,
+		Spans:       s.Spans,
+		FromFeature: s.FromFeature,
+		Attrs:       s.Attrs,
+		Payload:     payload,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("encode %q frame: %w", s.Kind, err)
+	}
+	return body, nil
+}
+
+// decodeSample parses a frame body.
+func decodeSample(body []byte, codecs Codecs) (core.Sample, error) {
+	var w wireSample
+	if err := json.Unmarshal(body, &w); err != nil {
+		return core.Sample{}, fmt.Errorf("decode frame: %w", err)
+	}
+	c, ok := codecs[w.Kind]
+	if !ok || c.Decode == nil {
+		return core.Sample{}, fmt.Errorf("%w: %q", ErrNoCodec, w.Kind)
+	}
+	payload, err := c.Decode(w.Payload)
+	if err != nil {
+		return core.Sample{}, fmt.Errorf("decode %q payload: %w", w.Kind, err)
+	}
+	return core.Sample{
+		Kind:        w.Kind,
+		Time:        w.Time,
+		Source:      w.Source,
+		Logical:     w.Logical,
+		Spans:       w.Spans,
+		FromFeature: w.FromFeature,
+		Attrs:       w.Attrs,
+		Payload:     payload,
+	}, nil
+}
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("write frame header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("write frame body: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF propagates unwrapped for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("read frame body: %w", err)
+	}
+	return body, nil
+}

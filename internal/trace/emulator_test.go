@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"perpos/internal/core"
+)
+
+const kindRaw core.Kind = "gps.raw"
+
+func rawSamples(n int) []core.Sample {
+	base := time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC)
+	out := make([]core.Sample, n)
+	for i := range out {
+		out[i] = core.NewSample(kindRaw, "$GPGGA,line", base.Add(time.Duration(i)*time.Second))
+	}
+	return out
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	// Record a live "sensor", then replay it through an emulator taking
+	// the sensor's place — the §3.2 workflow.
+	g := core.New()
+	src := &core.SliceSource{
+		CompID:  "sensor",
+		Out:     core.OutputSpec{Kind: kindRaw},
+		Samples: rawSamples(5),
+	}
+	if _, err := g.Add(src); err != nil {
+		t.Fatal(err)
+	}
+	sink := core.NewSink("app", []core.Kind{kindRaw})
+	if _, err := g.Add(sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("sensor", "app", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	rec := NewRecorder(g, "sensor", &buf)
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	samples, err := ReadRecorded(&buf, map[core.Kind]Decoder{kindRaw: StringDecoder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 5 {
+		t.Fatalf("recorded %d samples, want 5", len(samples))
+	}
+	for i, s := range samples {
+		if s.Kind != kindRaw {
+			t.Errorf("sample %d kind = %q", i, s.Kind)
+		}
+		if s.Payload.(string) != "$GPGGA,line" {
+			t.Errorf("sample %d payload = %v", i, s.Payload)
+		}
+	}
+
+	// Replay: emulator presents itself as the sensor.
+	g2 := core.New()
+	emu := NewEmulator("sensor", core.OutputSpec{Kind: kindRaw}, samples)
+	if _, err := g2.Add(emu); err != nil {
+		t.Fatal(err)
+	}
+	sink2 := core.NewSink("app", []core.Kind{kindRaw})
+	if _, err := g2.Add(sink2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Connect("sensor", "app", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sink2.Len() != 5 {
+		t.Errorf("replayed %d samples, want 5", sink2.Len())
+	}
+	// Replay preserves the recorded timestamps.
+	first, _ := sink2.Received()[0], sink2.Received()
+	if !first.Time.Equal(rawSamples(1)[0].Time) {
+		t.Errorf("replayed time = %v", first.Time)
+	}
+}
+
+func TestRecorderIgnoresOtherComponentsAndFeatures(t *testing.T) {
+	g := core.New()
+	src := &core.SliceSource{
+		CompID:  "a",
+		Out:     core.OutputSpec{Kind: kindRaw},
+		Samples: rawSamples(2),
+	}
+	other := &core.SliceSource{
+		CompID:  "b",
+		Out:     core.OutputSpec{Kind: kindRaw},
+		Samples: rawSamples(3),
+	}
+	if _, err := g.Add(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Add(other); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	rec := NewRecorder(g, "a", &buf)
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ReadRecorded(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Errorf("recorded %d, want 2 (only component a)", len(samples))
+	}
+}
+
+func TestReadRecordedWithoutDecoderKeepsRaw(t *testing.T) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(RecordedSample{Kind: "x", Payload: json.RawMessage(`{"a":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ReadRecorded(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := samples[0].Payload.(json.RawMessage)
+	if !ok {
+		t.Fatalf("payload type = %T, want json.RawMessage", samples[0].Payload)
+	}
+	if string(raw) != `{"a":1}` {
+		t.Errorf("payload = %s", raw)
+	}
+}
+
+func TestReadRecordedDecoderError(t *testing.T) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(RecordedSample{Kind: kindRaw, Payload: json.RawMessage(`123`)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRecorded(&buf, map[core.Kind]Decoder{kindRaw: StringDecoder}); err == nil {
+		t.Error("decoding 123 as string should fail")
+	}
+}
+
+func TestEmulatorLoop(t *testing.T) {
+	emu := NewEmulator("e", core.OutputSpec{Kind: kindRaw}, rawSamples(2), WithLoop())
+	var emitted int
+	emit := func(core.Sample) { emitted++ }
+	for i := 0; i < 5; i++ {
+		more, err := emu.Step(emit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			t.Fatal("looping emulator reported exhaustion")
+		}
+	}
+	if emitted != 5 {
+		t.Errorf("emitted %d, want 5", emitted)
+	}
+}
+
+func TestEmulatorExhaustion(t *testing.T) {
+	emu := NewEmulator("e", core.OutputSpec{Kind: kindRaw}, rawSamples(2))
+	if emu.Remaining() != 2 {
+		t.Errorf("Remaining = %d, want 2", emu.Remaining())
+	}
+	emit := func(core.Sample) {}
+	more, err := emu.Step(emit)
+	if err != nil || !more {
+		t.Fatalf("first step: more=%v err=%v", more, err)
+	}
+	more, err = emu.Step(emit)
+	if err != nil || more {
+		t.Fatalf("second step: more=%v err=%v", more, err)
+	}
+	if emu.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", emu.Remaining())
+	}
+	more, err = emu.Step(emit)
+	if err != nil || more {
+		t.Fatalf("exhausted step: more=%v err=%v", more, err)
+	}
+}
+
+func TestEmulatorEmpty(t *testing.T) {
+	emu := NewEmulator("e", core.OutputSpec{Kind: kindRaw}, nil)
+	more, err := emu.Step(func(core.Sample) { t.Error("empty emulator emitted") })
+	if err != nil || more {
+		t.Errorf("empty step: more=%v err=%v", more, err)
+	}
+}
+
+func TestEmulatorProcessIsNoop(t *testing.T) {
+	emu := NewEmulator("e", core.OutputSpec{Kind: kindRaw}, rawSamples(1))
+	if err := emu.Process(0, core.Sample{}, nil); err != nil {
+		t.Errorf("Process = %v", err)
+	}
+}

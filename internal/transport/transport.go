@@ -1,0 +1,378 @@
+// Package transport implements the transportation-mode reasoning
+// pipeline the paper cites as a motivating detail-demanding application
+// (Zheng et al. [4]): "segmentation, feature extraction, decision tree
+// classification and hidden-markov model post processing" — each stage
+// a PerPos Processing Component, so the whole reasoning process lives
+// inside the reified positioning graph instead of behind it.
+package transport
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"perpos/internal/core"
+	"perpos/internal/positioning"
+)
+
+// Sample kinds of the transportation-mode pipeline.
+const (
+	// KindSegment carries Segment payloads.
+	KindSegment core.Kind = "transport.segment"
+	// KindFeatures carries Features payloads.
+	KindFeatures core.Kind = "transport.features"
+	// KindMode carries ModeEstimate payloads.
+	KindMode core.Kind = "transport.mode"
+)
+
+// Mode is a transportation mode.
+type Mode int
+
+// Modes, ordered by typical speed.
+const (
+	ModeStill Mode = iota + 1
+	ModeWalk
+	ModeBike
+	ModeDrive
+)
+
+// Modes lists all modes in order.
+func Modes() []Mode { return []Mode{ModeStill, ModeWalk, ModeBike, ModeDrive} }
+
+// String returns the mode label matching trace ground-truth labels.
+func (m Mode) String() string {
+	switch m {
+	case ModeStill:
+		return "still"
+	case ModeWalk:
+		return "walk"
+	case ModeBike:
+		return "bike"
+	case ModeDrive:
+		return "drive"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Segment is one fixed-duration window of positions.
+type Segment struct {
+	Start, End time.Time
+	Positions  []positioning.Position
+}
+
+// Features are the per-segment movement statistics the classifier uses.
+type Features struct {
+	Start, End time.Time
+	// MeanSpeed and MaxSpeed in m/s, from consecutive positions.
+	MeanSpeed float64
+	MaxSpeed  float64
+	// SpeedStd is the standard deviation of segment speeds.
+	SpeedStd float64
+	// HeadingChange is the mean absolute heading change per step, in
+	// degrees (walks wiggle, vehicles do not).
+	HeadingChange float64
+	// Points is the number of positions in the segment.
+	Points int
+}
+
+// ModeEstimate is a classified segment.
+type ModeEstimate struct {
+	Start, End time.Time
+	Mode       Mode
+	// Confidence is the winning class's normalised likelihood.
+	Confidence float64
+	// Likelihoods are the per-mode emission likelihoods (indexed by
+	// Mode), consumed by the HMM smoother.
+	Likelihoods map[Mode]float64
+}
+
+// Segmenter groups incoming positions into fixed windows — the first
+// stage of the reasoning pipeline.
+type Segmenter struct {
+	id     string
+	window time.Duration
+
+	start   time.Time
+	pending []positioning.Position
+}
+
+var _ core.Component = (*Segmenter)(nil)
+
+// NewSegmenter returns a segmenter with the given window (default 30 s).
+func NewSegmenter(id string, window time.Duration) *Segmenter {
+	if window <= 0 {
+		window = 30 * time.Second
+	}
+	return &Segmenter{id: id, window: window}
+}
+
+// ID implements core.Component.
+func (s *Segmenter) ID() string { return s.id }
+
+// Spec implements core.Component.
+func (s *Segmenter) Spec() core.Spec {
+	return core.Spec{
+		Name:   "Segmenter",
+		Inputs: []core.PortSpec{{Name: "position", Accepts: []core.Kind{positioning.KindPosition}}},
+		Output: core.OutputSpec{Kind: KindSegment},
+	}
+}
+
+// Process implements core.Component.
+func (s *Segmenter) Process(_ int, in core.Sample, emit core.Emit) error {
+	pos, ok := in.Payload.(positioning.Position)
+	if !ok {
+		return nil
+	}
+	if len(s.pending) == 0 {
+		s.start = in.Time
+	}
+	s.pending = append(s.pending, pos)
+	if in.Time.Sub(s.start) >= s.window && len(s.pending) >= 2 {
+		seg := Segment{Start: s.start, End: in.Time, Positions: s.pending}
+		s.pending = nil
+		emit(core.NewSample(KindSegment, seg, in.Time))
+	}
+	return nil
+}
+
+// NewFeatureExtractor returns the second stage: Segment -> Features.
+func NewFeatureExtractor(id string) *core.FuncComponent {
+	return core.NewTransform(id, KindSegment, KindFeatures, func(in core.Sample) (core.Sample, bool) {
+		seg, ok := in.Payload.(Segment)
+		if !ok || len(seg.Positions) < 2 {
+			return core.Sample{}, false
+		}
+		f := extractFeatures(seg)
+		out := core.NewSample(KindFeatures, f, in.Time)
+		return out, true
+	})
+}
+
+// speedBaseline is the displacement baseline used for speed estimates:
+// consecutive fixes are metres apart while position noise is also
+// metres, so speeds are computed over pairs at least this far apart in
+// time, which divides the noise contribution by the baseline.
+const speedBaseline = 15 * time.Second
+
+// extractFeatures computes movement statistics from position pairs a
+// noise-robust baseline apart.
+func extractFeatures(seg Segment) Features {
+	// Find the stride whose time distance reaches the baseline.
+	stride := 1
+	for stride < len(seg.Positions)-1 &&
+		seg.Positions[stride].Time.Sub(seg.Positions[0].Time) < speedBaseline {
+		stride++
+	}
+	var speeds []float64
+	var headings []float64
+	for i := stride; i < len(seg.Positions); i++ {
+		a, b := seg.Positions[i-stride], seg.Positions[i]
+		dt := b.Time.Sub(a.Time).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		d := a.Global.DistanceTo(b.Global)
+		speeds = append(speeds, d/dt)
+		headings = append(headings, a.Global.BearingTo(b.Global))
+	}
+	f := Features{Start: seg.Start, End: seg.End, Points: len(seg.Positions)}
+	if len(speeds) == 0 {
+		return f
+	}
+	var sum, sumSq float64
+	for _, v := range speeds {
+		sum += v
+		sumSq += v * v
+		if v > f.MaxSpeed {
+			f.MaxSpeed = v
+		}
+	}
+	f.MeanSpeed = sum / float64(len(speeds))
+	variance := sumSq/float64(len(speeds)) - f.MeanSpeed*f.MeanSpeed
+	if variance > 0 {
+		f.SpeedStd = math.Sqrt(variance)
+	}
+	// Mean absolute heading change between consecutive baselines,
+	// ignoring near-stationary steps whose bearings are noise.
+	var turnSum float64
+	var turns int
+	for i := 1; i < len(headings); i++ {
+		if speeds[i] < 0.7 || speeds[i-1] < 0.7 {
+			continue
+		}
+		diff := math.Abs(headings[i] - headings[i-1])
+		if diff > 180 {
+			diff = 360 - diff
+		}
+		turnSum += diff
+		turns++
+	}
+	if turns > 0 {
+		f.HeadingChange = turnSum / float64(turns)
+	}
+	return f
+}
+
+// modeProfile is the per-mode speed model used by the classifier's
+// emission likelihoods: a Gaussian over mean speed.
+type modeProfile struct {
+	mean, sigma float64
+}
+
+var profiles = map[Mode]modeProfile{
+	ModeStill: {mean: 0.1, sigma: 0.4},
+	ModeWalk:  {mean: 1.4, sigma: 0.7},
+	ModeBike:  {mean: 4.5, sigma: 1.8},
+	ModeDrive: {mean: 13, sigma: 6},
+}
+
+// NewClassifier returns the third stage: a decision-tree + Gaussian
+// scorer mapping Features to a ModeEstimate with per-mode likelihoods.
+func NewClassifier(id string) *core.FuncComponent {
+	return core.NewTransform(id, KindFeatures, KindMode, func(in core.Sample) (core.Sample, bool) {
+		f, ok := in.Payload.(Features)
+		if !ok {
+			return core.Sample{}, false
+		}
+		est := classify(f)
+		return core.NewSample(KindMode, est, in.Time), true
+	})
+}
+
+// classify scores each mode's speed profile against the segment and
+// picks the argmax — the decision-tree step of [4], with the Gaussian
+// scores retained for HMM post-processing.
+func classify(f Features) ModeEstimate {
+	likelihoods := make(map[Mode]float64, 4)
+	var total float64
+	for mode, p := range profiles {
+		d := (f.MeanSpeed - p.mean) / p.sigma
+		l := math.Exp(-d * d / 2)
+		// A wiggly heading profile discounts vehicle modes.
+		if f.HeadingChange > 25 && (mode == ModeDrive || mode == ModeBike) {
+			l *= 0.5
+		}
+		likelihoods[mode] = l + 1e-9
+		total += likelihoods[mode]
+	}
+	best := ModeStill
+	for _, mode := range Modes() {
+		if likelihoods[mode] > likelihoods[best] {
+			best = mode
+		}
+	}
+	return ModeEstimate{
+		Start:       f.Start,
+		End:         f.End,
+		Mode:        best,
+		Confidence:  likelihoods[best] / total,
+		Likelihoods: likelihoods,
+	}
+}
+
+// HMMSmoother is the fourth stage: a first-order hidden Markov model
+// over the classifier's per-mode likelihoods, run as an online forward
+// filter. Mode transitions are sticky, so single-segment
+// misclassifications get smoothed away — the post-processing step
+// of [4].
+type HMMSmoother struct {
+	id string
+	// stay is the self-transition probability (default 0.85).
+	stay float64
+
+	belief map[Mode]float64
+
+	flips int
+	last  Mode
+}
+
+var _ core.Component = (*HMMSmoother)(nil)
+
+// NewHMMSmoother returns the smoother; stay <= 0 defaults to 0.85.
+func NewHMMSmoother(id string, stay float64) *HMMSmoother {
+	if stay <= 0 || stay >= 1 {
+		stay = 0.85
+	}
+	return &HMMSmoother{id: id, stay: stay}
+}
+
+// ID implements core.Component.
+func (h *HMMSmoother) ID() string { return h.id }
+
+// Spec implements core.Component.
+func (h *HMMSmoother) Spec() core.Spec {
+	return core.Spec{
+		Name:   "HMMSmoother",
+		Inputs: []core.PortSpec{{Name: "mode", Accepts: []core.Kind{KindMode}}},
+		Output: core.OutputSpec{Kind: KindMode},
+	}
+}
+
+// Process implements core.Component: one forward-algorithm step.
+func (h *HMMSmoother) Process(_ int, in core.Sample, emit core.Emit) error {
+	est, ok := in.Payload.(ModeEstimate)
+	if !ok {
+		return nil
+	}
+	modes := Modes()
+	if h.belief == nil {
+		h.belief = make(map[Mode]float64, len(modes))
+		for _, m := range modes {
+			h.belief[m] = 1 / float64(len(modes))
+		}
+	}
+	move := (1 - h.stay) / float64(len(modes)-1)
+
+	// Temper the classifier's emissions by mixing with a uniform
+	// distribution: a single extreme observation (a GPS blip) must not
+	// be able to overwhelm the sticky prior, while consistent evidence
+	// over 2+ segments still wins.
+	const mix = 0.3
+	uniform := 1 / float64(len(modes))
+
+	next := make(map[Mode]float64, len(modes))
+	var total float64
+	for _, to := range modes {
+		var prior float64
+		for _, from := range modes {
+			t := move
+			if from == to {
+				t = h.stay
+			}
+			prior += h.belief[from] * t
+		}
+		emission := (1-mix)*est.Likelihoods[to] + mix*uniform
+		next[to] = prior * emission
+		total += next[to]
+	}
+	if total <= 0 {
+		// Degenerate emission; keep the previous belief.
+		return nil
+	}
+	for _, m := range modes {
+		next[m] /= total
+	}
+	h.belief = next
+
+	best := modes[0]
+	for _, m := range modes {
+		if h.belief[m] > h.belief[best] {
+			best = m
+		}
+	}
+	if h.last != 0 && best != h.last {
+		h.flips++
+	}
+	h.last = best
+
+	out := est
+	out.Mode = best
+	out.Confidence = h.belief[best]
+	emit(core.NewSample(KindMode, out, in.Time))
+	return nil
+}
+
+// Flips returns how many times the smoothed mode changed.
+func (h *HMMSmoother) Flips() int { return h.flips }

@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"perpos/internal/core"
+	"perpos/internal/geo"
+	"perpos/internal/gps"
+	"perpos/internal/positioning"
+	"perpos/internal/trace"
+)
+
+var testOrigin = geo.Point{Lat: 56.1629, Lon: 10.2039}
+
+func TestModeString(t *testing.T) {
+	tests := []struct {
+		m    Mode
+		want string
+	}{
+		{ModeStill, "still"},
+		{ModeWalk, "walk"},
+		{ModeBike, "bike"},
+		{ModeDrive, "drive"},
+		{Mode(9), "mode(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(tt.m), got, tt.want)
+		}
+	}
+	if len(Modes()) != 4 {
+		t.Errorf("Modes() = %v", Modes())
+	}
+}
+
+// positionsAtSpeed fabricates a position stream moving east at the
+// given speed.
+func positionsAtSpeed(speed float64, n int, dt time.Duration) []core.Sample {
+	proj := geo.NewProjection(testOrigin)
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	out := make([]core.Sample, n)
+	for i := range out {
+		e := speed * dt.Seconds() * float64(i)
+		pos := positioning.Position{
+			Time:   at,
+			Global: proj.ToGlobal(geo.ENU{East: e}),
+		}
+		out[i] = core.NewSample(positioning.KindPosition, pos, at)
+		at = at.Add(dt)
+	}
+	return out
+}
+
+func TestSegmenterWindows(t *testing.T) {
+	s := NewSegmenter("seg", 10*time.Second)
+	var segments []Segment
+	emit := func(smp core.Sample) { segments = append(segments, smp.Payload.(Segment)) }
+	for _, smp := range positionsAtSpeed(1, 35, time.Second) {
+		if err := s.Process(0, smp, emit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(segments) != 3 {
+		t.Fatalf("segments = %d, want 3 (35 s / 10 s windows)", len(segments))
+	}
+	for i, seg := range segments {
+		if len(seg.Positions) < 2 {
+			t.Errorf("segment %d has %d positions", i, len(seg.Positions))
+		}
+		if !seg.End.After(seg.Start) {
+			t.Errorf("segment %d time range inverted", i)
+		}
+	}
+}
+
+func TestSegmenterIgnoresGarbage(t *testing.T) {
+	s := NewSegmenter("seg", time.Second)
+	emit := func(core.Sample) { t.Error("emitted from garbage") }
+	if err := s.Process(0, core.NewSample(positioning.KindPosition, "junk", time.Time{}), emit); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeatureExtraction(t *testing.T) {
+	tests := []struct {
+		name   string
+		speed  float64
+		wantLo float64
+		wantHi float64
+	}{
+		{"still", 0.05, 0, 0.3},
+		{"walking", 1.4, 1.1, 1.7},
+		{"driving", 13, 11, 15},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			samples := positionsAtSpeed(tt.speed, 31, time.Second)
+			positions := make([]positioning.Position, len(samples))
+			for i, s := range samples {
+				positions[i] = s.Payload.(positioning.Position)
+			}
+			seg := Segment{
+				Start:     positions[0].Time,
+				End:       positions[len(positions)-1].Time,
+				Positions: positions,
+			}
+			f := extractFeatures(seg)
+			if f.MeanSpeed < tt.wantLo || f.MeanSpeed > tt.wantHi {
+				t.Errorf("MeanSpeed = %.2f, want [%.1f, %.1f]", f.MeanSpeed, tt.wantLo, tt.wantHi)
+			}
+			if f.Points != 31 {
+				t.Errorf("Points = %d", f.Points)
+			}
+		})
+	}
+}
+
+func TestClassifyBySpeed(t *testing.T) {
+	tests := []struct {
+		speed float64
+		want  Mode
+	}{
+		{0.05, ModeStill},
+		{1.4, ModeWalk},
+		{4.5, ModeBike},
+		{14, ModeDrive},
+	}
+	for _, tt := range tests {
+		f := Features{MeanSpeed: tt.speed}
+		est := classify(f)
+		if est.Mode != tt.want {
+			t.Errorf("classify(speed %.2f) = %v, want %v", tt.speed, est.Mode, tt.want)
+		}
+		if est.Confidence <= 0 || est.Confidence > 1 {
+			t.Errorf("confidence = %v", est.Confidence)
+		}
+		if len(est.Likelihoods) != 4 {
+			t.Errorf("likelihoods = %v", est.Likelihoods)
+		}
+	}
+}
+
+func TestHMMSmootherSuppressesFlicker(t *testing.T) {
+	h := NewHMMSmoother("hmm", 0.85)
+	var out []Mode
+	emit := func(s core.Sample) { out = append(out, s.Payload.(ModeEstimate).Mode) }
+
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	feed := func(speeds ...float64) {
+		for _, v := range speeds {
+			est := classify(Features{MeanSpeed: v, Start: at, End: at.Add(30 * time.Second)})
+			sample := core.NewSample(KindMode, est, at)
+			if err := h.Process(0, sample, emit); err != nil {
+				t.Fatal(err)
+			}
+			at = at.Add(30 * time.Second)
+		}
+	}
+
+	// Ten walking segments with one spurious "bike" blip in the middle.
+	feed(1.4, 1.3, 1.5, 1.4)
+	feed(4.6) // GPS noise blip
+	feed(1.4, 1.5, 1.3, 1.4, 1.5)
+
+	for i, m := range out {
+		if m != ModeWalk {
+			t.Errorf("segment %d smoothed to %v, want walk (flicker not suppressed)", i, m)
+		}
+	}
+	if h.Flips() != 0 {
+		t.Errorf("Flips = %d, want 0", h.Flips())
+	}
+
+	// A sustained change of mode must eventually win through.
+	feed(12, 13, 12.5, 13.5)
+	if out[len(out)-1] != ModeDrive {
+		t.Errorf("sustained driving smoothed to %v", out[len(out)-1])
+	}
+	if h.Flips() == 0 {
+		t.Error("genuine transition not registered")
+	}
+}
+
+// TestEndToEndMultimodal runs the full reasoning pipeline over a
+// multimodal trace fed through the GPS substrate — the [4] workload
+// inside a PerPos graph.
+func TestEndToEndMultimodal(t *testing.T) {
+	tr := trace.Multimodal(testOrigin, 101, time.Second)
+	g := core.New()
+	comps := []core.Component{
+		gps.NewReceiver("gps", tr, gps.Config{Seed: 102, ColdStart: 2 * time.Second}),
+		gps.NewParser("parser"),
+		gps.NewInterpreter("interpreter", 0),
+		NewSegmenter("segmenter", 30*time.Second),
+		NewFeatureExtractor("features"),
+		NewClassifier("classifier"),
+		NewHMMSmoother("hmm", 0),
+	}
+	for _, c := range comps {
+		if _, err := g.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink := core.NewSink("app", []core.Kind{KindMode})
+	if _, err := g.Add(sink); err != nil {
+		t.Fatal(err)
+	}
+	order := []string{"gps", "parser", "interpreter", "segmenter", "features", "classifier", "hmm", "app"}
+	for i := 0; i < len(order)-1; i++ {
+		if err := g.Connect(order[i], order[i+1], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	estimates := sink.Received()
+	if len(estimates) < 10 {
+		t.Fatalf("only %d mode estimates", len(estimates))
+	}
+	hits, total := 0, 0
+	for _, s := range estimates {
+		est := s.Payload.(ModeEstimate)
+		mid := est.Start.Add(est.End.Sub(est.Start) / 2)
+		truth, ok := tr.At(mid)
+		if !ok || truth.Mode == "" {
+			continue
+		}
+		total++
+		if est.Mode.String() == truth.Mode {
+			hits++
+		}
+	}
+	acc := float64(hits) / float64(total)
+	if acc < 0.7 {
+		t.Errorf("mode accuracy = %.2f (%d/%d), want >= 0.7", acc, hits, total)
+	}
+	t.Logf("multimodal mode accuracy: %.0f%% (%d/%d segments)", acc*100, hits, total)
+}

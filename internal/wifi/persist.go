@@ -1,0 +1,66 @@
+package wifi
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"perpos/internal/geo"
+)
+
+// fingerprintRecord is the JSONL wire form of one surveyed cell.
+type fingerprintRecord struct {
+	Pos    geo.ENU            `json:"pos"`
+	Floor  int                `json:"floor"`
+	RoomID string             `json:"roomId"`
+	RSSI   map[string]float64 `json:"rssi"`
+}
+
+// WriteDatabase serialises a fingerprint database as JSONL, one cell
+// per line — the radio map artifact an operator would survey once and
+// deploy to every positioning engine.
+func WriteDatabase(w io.Writer, db *Database) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	header := struct {
+		Count int `json:"count"`
+	}{db.Len()}
+	if err := enc.Encode(header); err != nil {
+		return fmt.Errorf("wifi: database header: %w", err)
+	}
+	for i, fp := range db.fingerprints {
+		rec := fingerprintRecord{Pos: fp.Pos, Floor: fp.Floor, RoomID: fp.RoomID, RSSI: fp.RSSI}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("wifi: fingerprint %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDatabase parses a database written by WriteDatabase.
+func ReadDatabase(r io.Reader) (*Database, error) {
+	dec := json.NewDecoder(r)
+	var header struct {
+		Count int `json:"count"`
+	}
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("wifi: database header: %w", err)
+	}
+	db := &Database{fingerprints: make([]Fingerprint, 0, header.Count)}
+	for {
+		var rec fingerprintRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return db, nil
+			}
+			return nil, fmt.Errorf("wifi: fingerprint %d: %w", db.Len(), err)
+		}
+		db.fingerprints = append(db.fingerprints, Fingerprint{
+			Pos:    rec.Pos,
+			Floor:  rec.Floor,
+			RoomID: rec.RoomID,
+			RSSI:   rec.RSSI,
+		})
+	}
+}

@@ -1,0 +1,175 @@
+// Package wifi simulates an indoor WiFi positioning system: access
+// points, log-distance path-loss signal propagation with wall
+// attenuation, an offline fingerprint survey and an online k-nearest
+// -neighbour positioning engine — the indoor half of the Room Number
+// application (Fig. 1: WiFi sensor -> WiFi positioning -> Resolver).
+//
+// Substitution note (DESIGN.md): the paper used a campus WiFi
+// deployment. The simulated deployment reproduces what the case studies
+// rely on: room-level positioning with realistic, wall-dependent error.
+package wifi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"perpos/internal/building"
+	"perpos/internal/core"
+	"perpos/internal/geo"
+)
+
+// KindScan is the sample kind carrying *Scan payloads.
+const KindScan core.Kind = "wifi.scan"
+
+// Reading is one access point observation in a scan.
+type Reading struct {
+	BSSID string  `json:"bssid"`
+	RSSI  float64 `json:"rssi"` // dBm
+}
+
+// Scan is one WiFi measurement: the set of heard APs.
+type Scan struct {
+	Time     time.Time `json:"time"`
+	Readings []Reading `json:"readings"`
+}
+
+// Get returns the RSSI for a BSSID and whether it was heard.
+func (s *Scan) Get(bssid string) (float64, bool) {
+	for _, r := range s.Readings {
+		if r.BSSID == bssid {
+			return r.RSSI, true
+		}
+	}
+	return 0, false
+}
+
+// AP is a deployed access point.
+type AP struct {
+	BSSID string
+	Name  string
+	Pos   geo.ENU
+	Floor int
+	// TxPower is the transmit power in dBm (default 15 used by
+	// DefaultDeployment).
+	TxPower float64
+}
+
+// PropagationConfig parameterizes the log-distance path-loss model:
+//
+//	RSSI(d) = TxPower - PL0 - 10*N*log10(max(d,1)) - WallLoss*walls + X(Shadow)
+type PropagationConfig struct {
+	// PL0 is the path loss at 1 m in dB (default 40).
+	PL0 float64
+	// N is the path-loss exponent (default 3.0 for office interiors).
+	N float64
+	// WallLoss is the per-wall attenuation in dB (default 5).
+	WallLoss float64
+	// Shadow is the lognormal shadow-fading sigma in dB (default 3).
+	Shadow float64
+	// Sensitivity is the receive floor in dBm; weaker APs are not heard
+	// (default -88).
+	Sensitivity float64
+}
+
+func (c PropagationConfig) withDefaults() PropagationConfig {
+	if c.PL0 == 0 {
+		c.PL0 = 40
+	}
+	if c.N == 0 {
+		c.N = 3.0
+	}
+	if c.WallLoss == 0 {
+		c.WallLoss = 5
+	}
+	if c.Shadow == 0 {
+		c.Shadow = 3
+	}
+	if c.Sensitivity == 0 {
+		c.Sensitivity = -88
+	}
+	return c
+}
+
+// Network is a deployed WiFi infrastructure inside one building.
+type Network struct {
+	b   *building.Building
+	aps []AP
+	cfg PropagationConfig
+}
+
+// NewNetwork returns a network of the given APs in b.
+func NewNetwork(b *building.Building, aps []AP, cfg PropagationConfig) *Network {
+	return &Network{b: b, aps: aps, cfg: cfg.withDefaults()}
+}
+
+// Building returns the network's building.
+func (n *Network) Building() *building.Building { return n.b }
+
+// APs returns the deployed access points.
+func (n *Network) APs() []AP {
+	out := make([]AP, len(n.aps))
+	copy(out, n.aps)
+	return out
+}
+
+// MeanRSSI returns the noise-free expected RSSI of ap at p, or false
+// when below sensitivity.
+func (n *Network) MeanRSSI(ap AP, p geo.ENU, floor int) (float64, bool) {
+	d := ap.Pos.Distance(p)
+	if d < 1 {
+		d = 1
+	}
+	walls := n.b.WallsBetween(ap.Pos, p, floor)
+	rssi := ap.TxPower - n.cfg.PL0 - 10*n.cfg.N*math.Log10(d) - n.cfg.WallLoss*float64(walls)
+	if rssi < n.cfg.Sensitivity {
+		return 0, false
+	}
+	return rssi, true
+}
+
+// ScanAt simulates one scan at position p using rng for shadow fading.
+func (n *Network) ScanAt(p geo.ENU, floor int, at time.Time, rng *rand.Rand) *Scan {
+	scan := &Scan{Time: at}
+	for _, ap := range n.aps {
+		if ap.Floor != floor {
+			continue
+		}
+		mean, heard := n.MeanRSSI(ap, p, floor)
+		if !heard {
+			continue
+		}
+		rssi := mean + rng.NormFloat64()*n.cfg.Shadow
+		if rssi < n.cfg.Sensitivity {
+			continue
+		}
+		scan.Readings = append(scan.Readings, Reading{BSSID: ap.BSSID, RSSI: rssi})
+	}
+	return scan
+}
+
+// DefaultDeployment places eight APs through the evaluation building:
+// three along the corridor and five in alternating offices — enough
+// overlap for room-level k-NN positioning everywhere on the floor.
+func DefaultDeployment(b *building.Building) *Network {
+	mk := func(i int, e, n float64) AP {
+		return AP{
+			BSSID:   fmt.Sprintf("00:17:9a:%02x:%02x:%02x", i, i*3+1, i*7+5),
+			Name:    fmt.Sprintf("ap-%d", i),
+			Pos:     geo.ENU{East: e, North: n},
+			TxPower: 15,
+		}
+	}
+	aps := []AP{
+		mk(1, 6, 6),   // corridor west
+		mk(2, 20, 6),  // corridor centre
+		mk(3, 34, 6),  // corridor east
+		mk(4, 4, 10),  // office N1
+		mk(5, 20, 10), // office N3
+		mk(6, 36, 10), // office N5
+		mk(7, 12, 2),  // office S2
+		mk(8, 28, 2),  // office S4
+	}
+	return NewNetwork(b, aps, PropagationConfig{})
+}
