@@ -1,0 +1,67 @@
+package building
+
+import (
+	"testing"
+
+	"perpos/internal/geo"
+)
+
+// benchPoints is a deterministic sweep over the evaluation floor:
+// corridor, offices, boundaries and a few outdoor points — the mix the
+// trace emulator and the room-number pipeline throw at RoomAt.
+func benchPoints() []geo.ENU {
+	var pts []geo.ENU
+	for e := -1.0; e <= 41.0; e += 1.7 {
+		for n := -1.0; n <= 13.0; n += 1.3 {
+			pts = append(pts, geo.ENU{East: e, North: n})
+		}
+	}
+	return pts
+}
+
+// BenchmarkRoomAt compares the grid-indexed lookup against the naive
+// linear scan it replaced. RoomAt runs once per emitted position
+// sample, so the grid path must stay sub-microsecond and beat the
+// scan.
+func BenchmarkRoomAt(b *testing.B) {
+	bld := Evaluation()
+	f, _ := bld.Floor(0)
+	pts := benchPoints()
+
+	b.Run("grid", func(b *testing.B) {
+		b.ReportAllocs()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			if _, ok := f.RoomAt(pts[i%len(pts)]); ok {
+				hits++
+			}
+		}
+		sinkHits = hits
+	})
+	b.Run("linear", func(b *testing.B) {
+		b.ReportAllocs()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			if _, ok := f.roomAtLinear(pts[i%len(pts)]); ok {
+				hits++
+			}
+		}
+		sinkHits = hits
+	})
+}
+
+// sinkHits keeps the benchmarked lookups observable so the compiler
+// cannot elide them.
+var sinkHits int
+
+func BenchmarkCrosses(b *testing.B) {
+	bld := Evaluation()
+	p := geo.ENU{East: 18, North: 6}
+	q := geo.ENU{East: 18, North: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !bld.Crosses(p, q, 0) {
+			b.Fatal("expected crossing")
+		}
+	}
+}

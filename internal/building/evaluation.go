@@ -1,0 +1,107 @@
+package building
+
+import (
+	"fmt"
+
+	"perpos/internal/geo"
+)
+
+// The evaluation building reproduces the paper's single-corridor
+// office floor (the Fig. 6 setting): a 40 x 12 m storey with a 2 m
+// wide east-west corridor flanked by five offices on each side. Office
+// doors open onto the corridor through 1.2 m gaps in the corridor
+// walls; the building entrance is the corridor's west end.
+const (
+	floorWidth  = 40.0 // east-west extent, metres
+	floorDepth  = 12.0 // north-south extent, metres
+	corridorLoN = 5.0  // corridor south wall
+	corridorHiN = 7.0  // corridor north wall
+	officeWidth = 8.0  // five offices per side
+	doorHalf    = 0.6  // door gaps span centre ± doorHalf
+)
+
+// evaluationOrigin anchors the evaluation deployments near the paper's
+// campus (Aarhus); local (0, 0) is the building's south-west corner.
+var evaluationOrigin = geo.Point{Lat: 56.1629, Lon: 10.2039}
+
+// Evaluation returns the paper's evaluation deployment: the
+// single-storey office building every E1–E10 experiment runs against.
+// Rooms are "corridor", north offices "N1".."N5" (west to east) and
+// south offices "S1".."S5".
+func Evaluation() *Building {
+	return New("evaluation-building", evaluationOrigin, officeFloor(0, ""))
+}
+
+// EvaluationTwoFloors returns the two-storey variant used by
+// multi-floor scenarios (e.g. per-floor WiFi surveys). The ground
+// floor matches Evaluation(); floor 1 has the same plan with room IDs
+// prefixed "1-" ("1-corridor", "1-N3", ...).
+func EvaluationTwoFloors() *Building {
+	return New("evaluation-building-2f", evaluationOrigin,
+		officeFloor(0, ""), officeFloor(1, "1-"))
+}
+
+// officeFloor builds one storey of the evaluation plan. The room IDs
+// get the given prefix ("" for the ground floor).
+func officeFloor(level int, prefix string) *Floor {
+	rooms := []Room{{
+		ID:   prefix + "corridor",
+		Min:  geo.ENU{East: 0, North: corridorLoN},
+		Max:  geo.ENU{East: floorWidth, North: corridorHiN},
+		Door: geo.ENU{East: 0, North: (corridorLoN + corridorHiN) / 2}, // building entrance
+	}}
+	for i := 0; i < 5; i++ {
+		lo := officeWidth * float64(i)
+		hi := lo + officeWidth
+		centerE := lo + officeWidth/2
+		rooms = append(rooms,
+			Room{
+				ID:   fmt.Sprintf("%sN%d", prefix, i+1),
+				Min:  geo.ENU{East: lo, North: corridorHiN},
+				Max:  geo.ENU{East: hi, North: floorDepth},
+				Door: geo.ENU{East: centerE, North: corridorHiN},
+			},
+			Room{
+				ID:   fmt.Sprintf("%sS%d", prefix, i+1),
+				Min:  geo.ENU{East: lo, North: 0},
+				Max:  geo.ENU{East: hi, North: corridorLoN},
+				Door: geo.ENU{East: centerE, North: corridorLoN},
+			},
+		)
+	}
+
+	h := func(y, e0, e1 float64) Wall {
+		return Wall{A: geo.ENU{East: e0, North: y}, B: geo.ENU{East: e1, North: y}}
+	}
+	v := func(x, n0, n1 float64) Wall {
+		return Wall{A: geo.ENU{East: x, North: n0}, B: geo.ENU{East: x, North: n1}}
+	}
+	walls := []Wall{
+		h(0, 0, floorWidth),          // south perimeter
+		h(floorDepth, 0, floorWidth), // north perimeter
+		v(floorWidth, 0, floorDepth), // east perimeter
+		// West perimeter with the entrance gap at the corridor.
+		v(0, 0, corridorLoN),
+		v(0, corridorHiN, floorDepth),
+	}
+	for i := 0; i < 5; i++ {
+		lo := officeWidth * float64(i)
+		hi := lo + officeWidth
+		centerE := lo + officeWidth/2
+		// Corridor walls, split at each office's door gap.
+		walls = append(walls,
+			h(corridorHiN, lo, centerE-doorHalf),
+			h(corridorHiN, centerE+doorHalf, hi),
+			h(corridorLoN, lo, centerE-doorHalf),
+			h(corridorLoN, centerE+doorHalf, hi),
+		)
+		// Dividing walls between adjacent offices.
+		if i > 0 {
+			walls = append(walls,
+				v(lo, corridorHiN, floorDepth),
+				v(lo, 0, corridorLoN),
+			)
+		}
+	}
+	return NewFloor(level, rooms, walls)
+}

@@ -1,0 +1,103 @@
+package building
+
+import (
+	"math"
+
+	"perpos/internal/geo"
+)
+
+// gridCell is the spatial-index cell size in metres. At office scale
+// (rooms a few metres across) a 2 m cell keeps the per-cell candidate
+// list at one or two rooms while the whole index stays a few hundred
+// bytes.
+const gridCell = 2.0
+
+// roomGrid is a uniform-grid spatial index over a floor's rooms: each
+// cell lists the indices of the rooms overlapping it. Point→room
+// lookup is one cell fetch plus a rectangle test per candidate,
+// independent of the floor's total room count — the property that
+// keeps RoomAt sub-microsecond on the per-sample hot path.
+type roomGrid struct {
+	rooms      []Room
+	min        geo.ENU
+	invW, invH float64
+	cols, rows int
+	cells      [][]int32
+}
+
+func newRoomGrid(f *Floor) *roomGrid {
+	g := &roomGrid{rooms: f.Rooms, min: f.min, invW: 1 / gridCell, invH: 1 / gridCell}
+	width := f.max.East - f.min.East
+	depth := f.max.North - f.min.North
+	if len(f.Rooms) == 0 || width <= 0 || depth <= 0 {
+		return g
+	}
+	g.cols = int(math.Ceil(width / gridCell))
+	g.rows = int(math.Ceil(depth / gridCell))
+	g.cells = make([][]int32, g.cols*g.rows)
+	for ri, r := range f.Rooms {
+		cx0 := g.clampCol(int((r.Min.East - f.min.East) / gridCell))
+		cy0 := g.clampRow(int((r.Min.North - f.min.North) / gridCell))
+		// Max edges are exclusive (half-open rooms), so a room whose
+		// Max lands exactly on a cell boundary does not spill into the
+		// next cell.
+		cx1 := g.clampCol(lastCell(r.Max.East-f.min.East, gridCell))
+		cy1 := g.clampRow(lastCell(r.Max.North-f.min.North, gridCell))
+		for cy := cy0; cy <= cy1; cy++ {
+			for cx := cx0; cx <= cx1; cx++ {
+				i := cy*g.cols + cx
+				g.cells[i] = append(g.cells[i], int32(ri))
+			}
+		}
+	}
+	return g
+}
+
+// lastCell returns the index of the last cell a half-open extent
+// ending at offset touches.
+func lastCell(offset, cell float64) int {
+	i := int(math.Ceil(offset/cell)) - 1
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+func (g *roomGrid) clampCol(c int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= g.cols {
+		return g.cols - 1
+	}
+	return c
+}
+
+func (g *roomGrid) clampRow(r int) int {
+	if r < 0 {
+		return 0
+	}
+	if r >= g.rows {
+		return g.rows - 1
+	}
+	return r
+}
+
+// lookup returns the index of the room containing p, or false.
+func (g *roomGrid) lookup(p geo.ENU) (int, bool) {
+	fe := (p.East - g.min.East) * g.invW
+	fn := (p.North - g.min.North) * g.invH
+	if fe < 0 || fn < 0 {
+		return 0, false
+	}
+	cx, cy := int(fe), int(fn)
+	if cx >= g.cols || cy >= g.rows {
+		return 0, false
+	}
+	for _, ri := range g.cells[cy*g.cols+cx] {
+		if g.rooms[ri].Contains(p) {
+			return int(ri), true
+		}
+	}
+	return 0, false
+}
