@@ -9,13 +9,16 @@
 //	perpos-bench -e E5      # one experiment
 //	perpos-bench -e E5 -series
 //	perpos-bench -list
+//	perpos-bench -json bench.json   # also write per-experiment timings
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"perpos/internal/eval"
 )
@@ -32,6 +35,7 @@ func run(args []string) error {
 	exp := fs.String("e", "", "experiment ID to run (default: all)")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	series := fs.Bool("series", false, "emit plot series where supported (E5)")
+	jsonPath := fs.String("json", "", "write per-experiment timings (ns/op, samples/s) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,12 +63,40 @@ func run(args []string) error {
 		ids = []string{id}
 	}
 
+	var timings []timing
 	for _, id := range ids {
+		start := time.Now()
 		result, err := experiments[id]()
+		elapsed := time.Since(start)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Println(result.Table())
+		t := timing{ID: id, Title: result.Title, NsOp: elapsed.Nanoseconds(), Samples: result.Samples}
+		if result.Samples > 0 && elapsed > 0 {
+			t.SamplesPerSec = float64(result.Samples) / elapsed.Seconds()
+		}
+		timings = append(timings, t)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(timings, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d timings to %s\n", len(timings), *jsonPath)
 	}
 	return nil
+}
+
+// timing is one experiment's wall-clock record for -json output.
+type timing struct {
+	ID            string  `json:"id"`
+	Title         string  `json:"title"`
+	NsOp          int64   `json:"ns_op"`
+	Samples       int     `json:"samples,omitempty"`
+	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
 }

@@ -9,6 +9,8 @@
 //	perpos-run -pipeline roomnumber # the Fig. 1 Room Number application
 //	perpos-run -seed 7 -max 20
 //	perpos-run -config pipeline.json   # declarative system-level configuration
+//	perpos-run -targets 25          # 25 concurrent tracked targets, one
+//	                                # session each from a shared blueprint
 //
 // Configurations (see internal/config) may reference two pre-built
 // instances: "gps" (a receiver on a commute trace) and "app" (a
@@ -20,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"perpos/internal/building"
@@ -27,8 +30,10 @@ import (
 	"perpos/internal/config"
 	"perpos/internal/core"
 	"perpos/internal/eval"
+	"perpos/internal/filter"
 	"perpos/internal/gps"
 	"perpos/internal/positioning"
+	"perpos/internal/runtime"
 	"perpos/internal/trace"
 	"perpos/internal/wifi"
 )
@@ -46,12 +51,16 @@ func run(args []string) error {
 	configPath := fs.String("config", "", "JSON pipeline definition (system-level configuration)")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	maxLines := fs.Int("max", 50, "maximum positions to print (0 = all)")
+	targets := fs.Int("targets", 0, "track N concurrent targets through per-target sessions (multi-tenant mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *configPath != "" {
 		return runConfigured(*configPath, *seed, *maxLines)
+	}
+	if *targets > 0 {
+		return runTargets(*targets, *seed)
 	}
 
 	switch *pipeline {
@@ -124,6 +133,108 @@ func runConfigured(path string, seed int64, maxLines int) error {
 		return err
 	}
 	fmt.Printf("pipeline %q delivered %d samples\n", p.Name, sink.Len())
+	return nil
+}
+
+// runTargets is the multi-tenant mode: N targets tracked through the
+// positioning manager, each backed by its own pipeline session
+// instantiated from ONE shared Fig. 2 fusion blueprint (building model
+// and WiFi database shared, sensors and sink per target), replayed
+// concurrently and summarised deterministically.
+func runTargets(n int, seed int64) error {
+	b := building.Evaluation()
+	network := wifi.DefaultDeployment(b)
+	db := wifi.Survey(network, 0, wifi.SurveyConfig{Seed: seed + 1})
+	bp, err := catalog.FusionBlueprint(
+		catalog.Deps{Building: b, Database: db},
+		filter.Config{Particles: 200, Seed: seed + 2})
+	if err != nil {
+		return err
+	}
+
+	rt, err := runtime.NewManager(runtime.SessionConfig{
+		Blueprint: bp,
+		Provider:  positioning.ProviderInfo{Technology: "fused", TypicalAccuracy: 4},
+		History:   64,
+		Overrides: func(sessionID string) []core.InstantiateOption {
+			var i int64
+			fmt.Sscanf(sessionID, "target-%d", &i)
+			tr := trace.Commute(b, seed+i, 120, 500*time.Millisecond)
+			return []core.InstantiateOption{
+				core.WithComponentOverride("gps", func(cid string) core.Component {
+					return gps.NewReceiver(cid, tr, gps.Config{Seed: seed + i + 100, ColdStart: 2 * time.Second})
+				}),
+				core.WithComponentOverride("wifi", func(cid string) core.Component {
+					return wifi.NewSensor(cid, network, tr, 2*time.Second, seed+i+200)
+				}),
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	pm := &positioning.Manager{}
+	pm.BindSource(rt)
+
+	type outcome struct {
+		delivered int
+		last      positioning.Position
+	}
+	outcomes := make([]outcome, n)
+	sessions := make([]*runtime.Session, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("target-%03d", i)
+		tgt, err := pm.TrackErr(id)
+		if err != nil {
+			return err
+		}
+		i := i
+		tgt.Providers()[0].Subscribe(func(pos positioning.Position) {
+			outcomes[i].delivered++
+			outcomes[i].last = pos
+		})
+		s, ok := rt.Get(id)
+		if !ok {
+			return fmt.Errorf("no session for %s", id)
+		}
+		sessions[i] = s
+	}
+
+	// Replay every target's trace concurrently, one goroutine per
+	// session; propagation within a session stays synchronous, so each
+	// target's delivery sequence is deterministic.
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, s := range sessions {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = s.Run(0)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("target-%03d: %w", i, err)
+		}
+	}
+
+	total := 0
+	for i, o := range outcomes {
+		fmt.Printf("target-%03d: %d positions, last %v\n", i, o.delivered, o.last)
+		total += o.delivered
+		pm.Untrack(fmt.Sprintf("target-%03d", i))
+	}
+	fmt.Printf("%d targets, %d positions total, %.0f samples/s aggregate\n",
+		n, total, float64(total)/elapsed.Seconds())
+	if rt.Len() != 0 {
+		return fmt.Errorf("%d sessions leaked after untrack", rt.Len())
+	}
 	return nil
 }
 

@@ -1,0 +1,140 @@
+// Smoke tests for the binaries: every command and example must build,
+// and the deterministic demos must produce identical output run-to-run.
+// These trees carry no unit tests of their own — this is the floor that
+// keeps them from silently rotting as the internal packages move.
+package perpos_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mainPackages returns the repo-relative paths of every buildable main
+// package under cmd/ and examples/.
+func mainPackages(t *testing.T) []string {
+	t.Helper()
+	var out []string
+	for _, tree := range []string{"cmd", "examples"} {
+		entries, err := os.ReadDir(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(tree, e.Name(), "main.go")); err != nil {
+				continue
+			}
+			out = append(out, "./"+tree+"/"+e.Name())
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no main packages found under cmd/ or examples/")
+	}
+	return out
+}
+
+// buildBinaries compiles every main package into a shared temp dir once
+// per test binary and returns name -> path.
+func buildBinaries(t *testing.T) map[string]string {
+	t.Helper()
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	dir := t.TempDir()
+	bins := make(map[string]string)
+	for _, pkg := range mainPackages(t) {
+		name := filepath.Base(pkg)
+		out := filepath.Join(dir, name)
+		cmd := exec.Command(goBin, "build", "-o", out, pkg)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, b)
+		}
+		bins[name] = out
+	}
+	return bins
+}
+
+// runBin executes a built binary and returns its combined output.
+func runBin(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestBinariesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds every binary")
+	}
+	bins := buildBinaries(t)
+
+	// Deterministic end-to-end runs: same seed, same output, twice.
+	t.Run("quickstart", func(t *testing.T) {
+		first := runBin(t, bins["quickstart"])
+		if first == "" {
+			t.Fatal("quickstart printed nothing")
+		}
+		if again := runBin(t, bins["quickstart"]); again != first {
+			t.Errorf("quickstart output not deterministic:\n--- first\n%s--- second\n%s", first, again)
+		}
+	})
+
+	t.Run("roomnumber", func(t *testing.T) {
+		first := runBin(t, bins["roomnumber"])
+		if first == "" {
+			t.Fatal("roomnumber printed nothing")
+		}
+		if again := runBin(t, bins["roomnumber"]); again != first {
+			t.Errorf("roomnumber output not deterministic:\n--- first\n%s--- second\n%s", first, again)
+		}
+	})
+
+	t.Run("perpos-run-roomnumber", func(t *testing.T) {
+		args := []string{"-pipeline", "roomnumber", "-seed", "3", "-max", "5"}
+		first := runBin(t, bins["perpos-run"], args...)
+		if first == "" {
+			t.Fatal("perpos-run printed nothing")
+		}
+		if again := runBin(t, bins["perpos-run"], args...); again != first {
+			t.Errorf("perpos-run output not deterministic:\n--- first\n%s--- second\n%s", first, again)
+		}
+	})
+
+	t.Run("perpos-run-targets", func(t *testing.T) {
+		out := runBin(t, bins["perpos-run"], "-targets", "3", "-seed", "5")
+		for _, want := range []string{"target-000", "target-002", "positions total"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("multi-target output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("perpos-bench-list", func(t *testing.T) {
+		out := runBin(t, bins["perpos-bench"], "-list")
+		if !strings.Contains(out, "E1") || !strings.Contains(out, "E10") {
+			t.Errorf("-list output missing experiments:\n%s", out)
+		}
+	})
+
+	t.Run("perpos-bench-json", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "bench.json")
+		runBin(t, bins["perpos-bench"], "-e", "E2", "-json", path)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{`"id": "E2"`, `"ns_op"`} {
+			if !strings.Contains(string(data), want) {
+				t.Errorf("bench JSON missing %q:\n%s", want, data)
+			}
+		}
+	})
+}

@@ -110,3 +110,79 @@ func Standard(deps Deps) (*registry.Registry, error) {
 	}
 	return r, nil
 }
+
+// GPSBlueprint returns the blueprint of the plain GPS pipeline (the
+// outdoor half of Fig. 1): gps -> Parser -> Interpreter -> app. The
+// "gps" source and "app" sink are placeholders bound per instantiation
+// (core.WithComponentOverride) — one tracked target, one instance.
+func GPSBlueprint() (*core.Blueprint, error) {
+	bp := core.NewBlueprint()
+	steps := []struct {
+		id      string
+		factory core.ComponentFactory
+	}{
+		{"gps", nil},
+		{"parser", func(id string) core.Component { return gps.NewParser(id) }},
+		{"interpreter", func(id string) core.Component { return gps.NewInterpreter(id, 0) }},
+		{"app", nil},
+	}
+	for _, s := range steps {
+		if err := bp.AddComponent(s.id, s.factory); err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+	}
+	for i := 1; i < len(steps); i++ {
+		if err := bp.Connect(steps[i-1].id, steps[i].id, 0); err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+	}
+	return bp, nil
+}
+
+// FusionBlueprint returns the blueprint of the Fig. 2 fusion pipeline:
+// the GPS chain and the WiFi positioning chain feeding a particle
+// filter whose output reaches the application. The building model and
+// fingerprint database in deps are shared, immutable, across every
+// instance; the "gps" and "wifi" sensors and the "app" sink are
+// placeholders bound per instantiation. The parser carries the HDOP
+// Component Feature, as in the paper's §3.2 setup.
+func FusionBlueprint(deps Deps, fcfg filter.Config) (*core.Blueprint, error) {
+	if deps.Building == nil || deps.Database == nil {
+		return nil, fmt.Errorf("catalog: fusion blueprint needs a building model and a WiFi database")
+	}
+	b, db := deps.Building, deps.Database
+	bp := core.NewBlueprint()
+	comps := []struct {
+		id      string
+		factory core.ComponentFactory
+	}{
+		{"gps", nil},
+		{"parser", func(id string) core.Component { return gps.NewParser(id) }},
+		{"interpreter", func(id string) core.Component { return gps.NewInterpreter(id, 0) }},
+		{"wifi", nil},
+		{"wifi-positioning", func(id string) core.Component { return wifi.NewEngine(id, db, b, 3) }},
+		{"particle-filter", func(id string) core.Component { return filter.NewParticleFilter(id, b, fcfg) }},
+		{"app", nil},
+	}
+	for _, c := range comps {
+		if err := bp.AddComponent(c.id, c.factory); err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+	}
+	if err := bp.AttachFeature("parser", func() core.Feature { return gps.NewHDOPFeature() }); err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	for _, e := range []core.Edge{
+		{From: "gps", To: "parser", Port: 0},
+		{From: "parser", To: "interpreter", Port: 0},
+		{From: "interpreter", To: "particle-filter", Port: 0},
+		{From: "wifi", To: "wifi-positioning", Port: 0},
+		{From: "wifi-positioning", To: "particle-filter", Port: 1},
+		{From: "particle-filter", To: "app", Port: 0},
+	} {
+		if err := bp.Connect(e.From, e.To, e.Port); err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+	}
+	return bp, nil
+}

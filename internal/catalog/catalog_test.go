@@ -6,6 +6,7 @@ import (
 
 	"perpos/internal/building"
 	"perpos/internal/core"
+	"perpos/internal/filter"
 	"perpos/internal/geo"
 	"perpos/internal/gps"
 	"perpos/internal/positioning"
@@ -120,6 +121,81 @@ func TestAssembleTransportPipeline(t *testing.T) {
 	}
 	if _, ok := sink.Received()[0].Payload.(transport.ModeEstimate); !ok {
 		t.Errorf("payload = %T", sink.Received()[0].Payload)
+	}
+}
+
+// TestFusionBlueprint: the shared Fig. 2 blueprint instantiates into
+// independent per-target pipelines over shared immutable deps.
+func TestFusionBlueprint(t *testing.T) {
+	b := building.Evaluation()
+	n := wifi.DefaultDeployment(b)
+	db := wifi.Survey(n, 0, wifi.SurveyConfig{Seed: 1, GridStep: 4})
+	bp, err := FusionBlueprint(Deps{Building: b, Database: db},
+		filter.Config{Particles: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bp.Placeholders(); len(got) != 3 {
+		t.Fatalf("Placeholders = %v, want [gps wifi app]", got)
+	}
+
+	for i := int64(0); i < 2; i++ {
+		tr := trace.CorridorWalk(b, 10+i, 3, time.Second)
+		sink := core.NewSink("app", []core.Kind{positioning.KindPosition})
+		g, err := bp.Instantiate(
+			core.WithComponentOverride("gps", func(id string) core.Component {
+				return gps.NewReceiver(id, tr, gps.Config{Seed: 20 + i, ColdStart: time.Second})
+			}),
+			core.WithComponentOverride("wifi", func(id string) core.Component {
+				return wifi.NewSensor(id, n, tr, 2*time.Second, 30+i)
+			}),
+			core.WithComponentOverride("app", func(id string) core.Component { return sink }),
+		)
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		parserNode, _ := g.Node("parser")
+		if !parserNode.HasCapability(gps.FeatureHDOP) {
+			t.Fatalf("instance %d: parser missing HDOP feature", i)
+		}
+		if _, err := g.Run(0); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if sink.Len() == 0 {
+			t.Errorf("instance %d delivered nothing", i)
+		}
+	}
+}
+
+// TestGPSBlueprint: the lean GPS chain blueprint drives a position
+// stream per instance.
+func TestGPSBlueprint(t *testing.T) {
+	bp, err := GPSBlueprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.OutdoorTrack(testOrigin, 2, 2, 100, 1.4, time.Second)
+	sink := core.NewSink("app", []core.Kind{positioning.KindPosition})
+	g, err := bp.Instantiate(
+		core.WithComponentOverride("gps", func(id string) core.Component {
+			return gps.NewReceiver(id, tr, gps.Config{Seed: 3, ColdStart: time.Second})
+		}),
+		core.WithComponentOverride("app", func(id string) core.Component { return sink }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() == 0 {
+		t.Error("GPS blueprint instance delivered nothing")
 	}
 }
 

@@ -78,14 +78,21 @@ func Parse(r io.Reader) (Pipeline, error) {
 	return p, nil
 }
 
-// Loader builds graphs from pipeline definitions.
+// Loader builds graphs and blueprints from pipeline definitions.
 type Loader struct {
 	// Registry supplies component types (may be nil if every component
 	// is a pre-built instance).
 	Registry *registry.Registry
 	// Instances are pre-built components referenced by ID when a
-	// ComponentDef has no Type.
+	// ComponentDef has no Type. They are single components bound to one
+	// graph — usable by Build, and by Blueprint only as resolution
+	// stand-ins.
 	Instances map[string]core.Component
+	// InstanceFactories supplies per-instantiation factories for
+	// ComponentDefs without a Type, so blueprints built from the
+	// pipeline can be instantiated many times. Takes precedence over
+	// Instances.
+	InstanceFactories map[string]core.ComponentFactory
 	// Features maps feature names to factories.
 	Features map[string]func() core.Feature
 }
@@ -128,6 +135,137 @@ func (l *Loader) Build(g *core.Graph, p Pipeline) error {
 		}
 	}
 	return nil
+}
+
+// Blueprint reifies the pipeline definition into a reusable
+// core.Blueprint instead of one live graph: declared components become
+// factory slots (registry factories for typed defs, InstanceFactories
+// for instance defs, placeholders otherwise), and — when the pipeline
+// requests Resolve — registry dependency resolution runs ONCE against a
+// probe instance, with the resolved component set and wiring recorded
+// in the blueprint. Every later Instantiate replays the resolved
+// structure with fresh component instances and pays no resolution cost.
+//
+// Placeholder slots (no Type, no InstanceFactory) must be filled per
+// instantiation with core.WithComponentOverride; when the pipeline
+// needs resolution, a probe stand-in is taken from Instances.
+func (l *Loader) Blueprint(p Pipeline) (*core.Blueprint, error) {
+	type slot struct {
+		id      string
+		factory core.ComponentFactory // nil = placeholder
+	}
+	slots := make([]slot, 0, len(p.Components))
+	for _, def := range p.Components {
+		switch {
+		case def.Type != "":
+			if l.Registry == nil {
+				return nil, fmt.Errorf("%w: %q (loader has no registry)", ErrUnknownType, def.Type)
+			}
+			reg, ok := l.Registry.Lookup(def.Type)
+			if !ok {
+				return nil, fmt.Errorf("%w: %q", ErrUnknownType, def.Type)
+			}
+			slots = append(slots, slot{id: def.ID, factory: func(id string) core.Component { return reg.New(id) }})
+		case l.InstanceFactories[def.ID] != nil:
+			slots = append(slots, slot{id: def.ID, factory: l.InstanceFactories[def.ID]})
+		default:
+			slots = append(slots, slot{id: def.ID, factory: nil})
+		}
+	}
+
+	type featureSlot struct {
+		component string
+		factory   core.FeatureFactory
+	}
+	features := make([]featureSlot, 0, len(p.Features))
+	for _, def := range p.Features {
+		factory, ok := l.Features[def.Feature]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownFeature, def.Feature)
+		}
+		features = append(features, featureSlot{def.Component, core.FeatureFactory(factory)})
+	}
+
+	connections := make([]core.Edge, 0, len(p.Connections))
+	for _, c := range p.Connections {
+		connections = append(connections, core.Edge{From: c.From, To: c.To, Port: c.Port})
+	}
+
+	if p.Resolve {
+		if l.Registry == nil {
+			return nil, fmt.Errorf("config: pipeline requests resolution but loader has no registry")
+		}
+		// Build a throwaway probe instance, resolve it once, and record
+		// the resolver's plan (created components and final wiring).
+		probe := core.New()
+		for _, s := range slots {
+			comp, err := l.probeComponent(s.id, s.factory)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := probe.Add(comp); err != nil {
+				return nil, fmt.Errorf("config: add %q: %w", s.id, err)
+			}
+		}
+		for _, f := range features {
+			node, ok := probe.Node(f.component)
+			if !ok {
+				return nil, fmt.Errorf("config: feature on %q: component not in pipeline", f.component)
+			}
+			if err := node.AttachFeature(f.factory()); err != nil {
+				return nil, fmt.Errorf("config: attach feature to %q: %w", f.component, err)
+			}
+		}
+		for _, c := range connections {
+			if err := probe.Connect(c.From, c.To, c.Port); err != nil {
+				return nil, fmt.Errorf("config: connect %s -> %s:%d: %w", c.From, c.To, c.Port, err)
+			}
+		}
+		plan, err := l.Registry.ResolvePlan(probe)
+		if err != nil {
+			return nil, fmt.Errorf("config: resolve: %w", err)
+		}
+		for _, inst := range plan {
+			reg, ok := l.Registry.Lookup(inst.Type)
+			if !ok {
+				return nil, fmt.Errorf("%w: %q", ErrUnknownType, inst.Type)
+			}
+			slots = append(slots, slot{id: inst.ID, factory: func(id string) core.Component { return reg.New(id) }})
+		}
+		// The probe's edge set is the resolved wiring (explicit
+		// connections plus everything the resolver added).
+		connections = probe.Edges()
+	}
+
+	bp := core.NewBlueprint()
+	for _, s := range slots {
+		if err := bp.AddComponent(s.id, s.factory); err != nil {
+			return nil, fmt.Errorf("config: blueprint: %w", err)
+		}
+	}
+	for _, f := range features {
+		if err := bp.AttachFeature(f.component, f.factory); err != nil {
+			return nil, fmt.Errorf("config: blueprint: %w", err)
+		}
+	}
+	for _, c := range connections {
+		if err := bp.Connect(c.From, c.To, c.Port); err != nil {
+			return nil, fmt.Errorf("config: blueprint: %w", err)
+		}
+	}
+	return bp, nil
+}
+
+// probeComponent supplies a component for the resolution probe: the
+// slot's own factory, or a stand-in from Instances for placeholders.
+func (l *Loader) probeComponent(id string, factory core.ComponentFactory) (core.Component, error) {
+	if factory != nil {
+		return factory(id), nil
+	}
+	if comp, ok := l.Instances[id]; ok {
+		return comp, nil
+	}
+	return nil, fmt.Errorf("%w: %q (resolution needs an instance or factory as probe)", ErrUnknownInstance, id)
 }
 
 func (l *Loader) instantiate(def ComponentDef) (core.Component, error) {

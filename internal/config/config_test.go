@@ -123,6 +123,152 @@ func TestBuildWithResolution(t *testing.T) {
 	}
 }
 
+// blueprintLoader is newLoader plus per-instantiation factories, so
+// blueprints built from the pipeline can be instantiated repeatedly.
+func blueprintLoader(t *testing.T) *Loader {
+	t.Helper()
+	loader, _ := newLoader(t)
+	tr := trace.OutdoorTrack(testOrigin, 1, 2, 100, 1.4, time.Second)
+	loader.InstanceFactories = map[string]core.ComponentFactory{
+		"gps": func(id string) core.Component {
+			return gps.NewReceiver(id, tr, gps.Config{Seed: 2, ColdStart: time.Second})
+		},
+		"app": func(id string) core.Component {
+			return core.NewSink(id, []core.Kind{positioning.KindPosition})
+		},
+	}
+	return loader
+}
+
+func TestBlueprintFromPipeline(t *testing.T) {
+	p, err := Parse(strings.NewReader(fig1JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := blueprintLoader(t).Blueprint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two independent instances from one declaration.
+	for i := 0; i < 2; i++ {
+		g, err := bp.Instantiate()
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		parserNode, _ := g.Node("parser")
+		if !parserNode.HasCapability(gps.FeatureSatellites) {
+			t.Fatalf("instance %d: satellites feature not attached", i)
+		}
+		if _, err := g.Run(0); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		appNode, _ := g.Node("app")
+		if appNode.Component().(*core.Sink).Len() == 0 {
+			t.Fatalf("instance %d delivered nothing", i)
+		}
+	}
+}
+
+func TestBlueprintResolutionRunsOnce(t *testing.T) {
+	// Only endpoints declared; resolution fills the middle ONCE, into
+	// the blueprint — every instance replays the resolved structure.
+	const partial = `{
+	  "name": "partial",
+	  "components": [{"id": "gps"}, {"id": "app"}],
+	  "connections": [],
+	  "resolve": true
+	}`
+	p, err := Parse(strings.NewReader(partial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := blueprintLoader(t).Blueprint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(bp.Components()); got <= 2 {
+		t.Fatalf("blueprint has %d components, want endpoints plus resolved chain", got)
+	}
+
+	// The resolved blueprint matches the structure Build produces.
+	loader, _ := newLoader(t)
+	reference := core.New()
+	if err := loader.Build(reference, p); err != nil {
+		t.Fatal(err)
+	}
+	g, err := bp.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(g.Nodes()), len(reference.Nodes()); got != want {
+		t.Errorf("instance has %d components, reference Build has %d", got, want)
+	}
+	if got, want := len(g.Edges()), len(reference.Edges()); got != want {
+		t.Errorf("instance has %d edges, reference Build has %d", got, want)
+	}
+
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	appNode, _ := g.Node("app")
+	if appNode.Component().(*core.Sink).Len() == 0 {
+		t.Error("resolved blueprint instance delivered nothing")
+	}
+
+	// A second instance is independent and works too.
+	g2, err := bp.Instantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlueprintPlaceholders(t *testing.T) {
+	// Without InstanceFactories, untyped defs become placeholders bound
+	// at instantiation time — the runtime's per-target source hook.
+	p, err := Parse(strings.NewReader(fig1JSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, _ := newLoader(t)
+	bp, err := loader.Blueprint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bp.Placeholders(); len(got) != 2 {
+		t.Fatalf("Placeholders = %v, want [gps app]", got)
+	}
+	if _, err := bp.Instantiate(); !errors.Is(err, core.ErrOverrideRequired) {
+		t.Fatalf("Instantiate without overrides = %v, want ErrOverrideRequired", err)
+	}
+	tr := trace.OutdoorTrack(testOrigin, 1, 2, 100, 1.4, time.Second)
+	sink := core.NewSink("app", []core.Kind{positioning.KindPosition})
+	g, err := bp.Instantiate(
+		core.WithComponentOverride("gps", func(id string) core.Component {
+			return gps.NewReceiver(id, tr, gps.Config{Seed: 2, ColdStart: time.Second})
+		}),
+		core.WithComponentOverride("app", func(id string) core.Component { return sink }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() == 0 {
+		t.Error("placeholder-bound instance delivered nothing")
+	}
+}
+
 func TestBuildErrors(t *testing.T) {
 	loader, _ := newLoader(t)
 

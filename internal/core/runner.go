@@ -21,6 +21,7 @@ type asyncDeliver func(n *Node, port int, s Sample)
 type Runner struct {
 	g        *Graph
 	interval time.Duration
+	inboxCap int
 
 	mu      sync.Mutex
 	started bool
@@ -47,9 +48,21 @@ func WithSourceInterval(d time.Duration) RunnerOption {
 	return func(r *Runner) { r.interval = d }
 }
 
+// WithInboxCapacity sets each node's inbox depth (default 1). Depth 1
+// gives the tightest backpressure; deeper inboxes absorb fan-in bursts —
+// what a session runtime multiplexing many producers needs to keep
+// upstream components from stalling on a briefly-busy consumer.
+func WithInboxCapacity(n int) RunnerOption {
+	return func(r *Runner) {
+		if n > 0 {
+			r.inboxCap = n
+		}
+	}
+}
+
 // NewRunner returns a runner for g.
 func NewRunner(g *Graph, opts ...RunnerOption) *Runner {
-	r := &Runner{g: g}
+	r := &Runner{g: g, inboxCap: 1}
 	for _, opt := range opts {
 		opt(r)
 	}
@@ -71,9 +84,9 @@ func (r *Runner) Start(ctx context.Context) error {
 	nodes := r.g.Nodes()
 	r.inboxes = make(map[*Node]chan message, len(nodes))
 	for _, n := range nodes {
-		// Size-one inboxes: enqueue blocks when the consumer lags,
+		// Bounded inboxes: enqueue blocks when the consumer lags,
 		// giving natural backpressure along the (acyclic) tree.
-		r.inboxes[n] = make(chan message, 1)
+		r.inboxes[n] = make(chan message, r.inboxCap)
 	}
 
 	r.g.setAsync(func(n *Node, port int, s Sample) {

@@ -257,6 +257,72 @@ func TestRunnerInjectWhileRunning(t *testing.T) {
 	}
 }
 
+func TestRunnerInboxCapacity(t *testing.T) {
+	// A consumer that blocks until released: with the default size-1
+	// inbox the producer stalls after a couple of emissions, but with a
+	// deeper inbox it can run ahead and finish all its steps while the
+	// consumer is still busy — the fan-in headroom the session runtime
+	// relies on.
+	g := New()
+	src := &countingSource{id: "src", total: 4}
+	mustAdd(t, g, src)
+	gate := make(chan struct{})
+	sink := &FuncComponent{
+		CompID: "app",
+		CompSpec: Spec{
+			Inputs: []PortSpec{{Name: "in", Accepts: []Kind{kindRaw}}},
+		},
+		Fn: func(int, Sample, Emit) error {
+			<-gate
+			return nil
+		},
+	}
+	mustAdd(t, g, sink)
+	if err := g.Connect("src", "app", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner(g, WithInboxCapacity(8))
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for src.steps.Load() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := src.steps.Load(); got < 4 {
+		t.Errorf("source completed %d steps with blocked consumer, want 4 (inbox too shallow)", got)
+	}
+	close(gate)
+	r.WaitSources()
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// countingSource emits `total` samples and counts its steps.
+type countingSource struct {
+	id    string
+	total int
+	steps atomic.Int64
+}
+
+var _ Producer = (*countingSource)(nil)
+
+func (s *countingSource) ID() string { return s.id }
+
+func (s *countingSource) Spec() Spec {
+	return Spec{Name: s.id, Output: OutputSpec{Kind: kindRaw}}
+}
+
+func (s *countingSource) Process(int, Sample, Emit) error { return nil }
+
+func (s *countingSource) Step(emit Emit) (bool, error) {
+	n := int(s.steps.Add(1))
+	emit(NewSample(kindRaw, n, time.Time{}))
+	return n < s.total, nil
+}
+
 // infiniteSource emits forever; used for cancellation tests.
 type infiniteSource struct {
 	id string

@@ -165,7 +165,8 @@ func RunE1(cfg E1Config) (Result, error) {
 
 	out := Stats(outdoorErrs)
 	res := Result{
-		ID:     "E1",
+		Samples: out.N + len(rooms),
+		ID:      "E1",
 		Title:  "Room Number application (Fig. 1): GPS outdoors, WiFi room indoors",
 		Header: []string{"metric", "value"},
 		Rows: [][]string{

@@ -154,6 +154,7 @@ func RunE7(cfg E7Config) (Result, error) {
 		res.Notes = append(res.Notes, fmt.Sprintf(
 			"baseline (sync, 0 features, no reification): %.0f ns/sample", baseline))
 	}
+	res.Samples = cfg.Samples * len(variants)
 	return res, nil
 }
 

@@ -128,6 +128,10 @@ type Result struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Samples counts the positioning samples the experiment processed
+	// (0 when the experiment doesn't track a sample count) — the basis
+	// for throughput reporting in perpos-bench -json.
+	Samples int
 }
 
 // Table renders the result as an aligned text table.

@@ -1,6 +1,7 @@
 package positioning
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -12,6 +13,28 @@ import (
 // ErrNoProvider indicates that no registered provider matches the
 // criteria.
 var ErrNoProvider = errors.New("positioning: no provider matches criteria")
+
+// ProviderSource supplies the providers for a tracked target on demand
+// — the seam through which a session runtime spins up a per-target
+// pipeline instance the moment an application starts tracking.
+// Implementations must be safe for concurrent use and must not call
+// back into the Manager from ProvidersFor.
+type ProviderSource interface {
+	// ProvidersFor returns the providers serving the given target,
+	// creating backing resources as needed. Repeated calls with the same
+	// ID must be idempotent (return the same live providers).
+	ProvidersFor(id string) ([]*Provider, error)
+}
+
+// ReleasingSource is an optional ProviderSource extension notified when
+// a target stops being tracked, so per-target backing resources
+// (pipeline instances, goroutines) can be reclaimed.
+type ReleasingSource interface {
+	ProviderSource
+	// Release frees the resources backing the target's providers. It
+	// must tolerate IDs it never served.
+	Release(id string)
+}
 
 // Criteria selects a location provider, in the style of the Java
 // Location API (JSR-179) the paper models its top layer on.
@@ -35,6 +58,15 @@ type Manager struct {
 	providers map[string]*Provider
 	order     []string
 	targets   map[string]*Target
+	source    ProviderSource
+}
+
+// BindSource installs the provider source consulted when a new target
+// is tracked. Targets tracked before the bind keep their providers.
+func (m *Manager) BindSource(s ProviderSource) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.source = s
 }
 
 // Register adds a provider under its name.
@@ -139,8 +171,33 @@ func (t *Target) Attach(p *Provider) {
 	t.providers = append(t.providers, p)
 }
 
-// Track registers (or returns) the target with the given ID.
+// Detach removes a previously attached provider. Unknown providers are
+// ignored.
+func (t *Target) Detach(p *Provider) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, q := range t.providers {
+		if q == p {
+			t.providers = append(t.providers[:i], t.providers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Providers returns the target's attached providers.
+func (t *Target) Providers() []*Provider {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Provider(nil), t.providers...)
+}
+
+// Track registers (or returns) the target with the given ID. When a
+// provider source is bound and fails, Track degrades to a bare target
+// with no attached providers; use TrackErr to observe the failure.
 func (m *Manager) Track(id string) *Target {
+	if t, err := m.TrackErr(id); err == nil {
+		return t
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.targets == nil {
@@ -152,6 +209,63 @@ func (m *Manager) Track(id string) *Target {
 	t := &Target{id: id}
 	m.targets[id] = t
 	return t
+}
+
+// TrackErr registers (or returns) the target with the given ID. When a
+// provider source is bound, the target's providers are obtained from it
+// — for a session runtime source this spins up the target's pipeline
+// instance. ProvidersFor runs outside the manager lock; if two callers
+// race on the same new ID, both consult the source (which must be
+// idempotent) and one registration wins.
+func (m *Manager) TrackErr(id string) (*Target, error) {
+	m.mu.Lock()
+	if t, ok := m.targets[id]; ok {
+		m.mu.Unlock()
+		return t, nil
+	}
+	src := m.source
+	m.mu.Unlock()
+
+	var provs []*Provider
+	if src != nil {
+		var err error
+		provs, err = src.ProvidersFor(id)
+		if err != nil {
+			return nil, fmt.Errorf("positioning: track %q: %w", id, err)
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.targets == nil {
+		m.targets = make(map[string]*Target)
+	}
+	if t, ok := m.targets[id]; ok {
+		return t, nil
+	}
+	t := &Target{id: id, providers: provs}
+	m.targets[id] = t
+	return t, nil
+}
+
+// Untrack removes the target and, when the bound source supports
+// release, frees the target's backing resources. The release runs
+// outside the manager lock so a runtime source can tear down its
+// session without lock-order coupling. Unknown IDs are ignored.
+func (m *Manager) Untrack(id string) {
+	m.mu.Lock()
+	_, ok := m.targets[id]
+	if ok {
+		delete(m.targets, id)
+	}
+	src := m.source
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	if rs, isReleasing := src.(ReleasingSource); isReleasing {
+		rs.Release(id)
+	}
 }
 
 // Targets returns all tracked targets, sorted by ID.
@@ -174,28 +288,65 @@ type Neighbor struct {
 }
 
 // KNearest returns the k tracked targets nearest to the given point,
-// by last known position (§2.3 "the k-nearest targets").
+// by last known position (§2.3 "the k-nearest targets"). k <= 0 returns
+// all positioned targets. Selection keeps a bounded max-heap of the k
+// best candidates — O(n log k) instead of sorting the full target set,
+// which matters once the runtime tracks thousands of sessions.
 func (m *Manager) KNearest(from geo.Point, k int) []Neighbor {
-	var all []Neighbor
-	for _, t := range m.Targets() {
+	targets := m.Targets()
+	if k <= 0 || k > len(targets) {
+		k = len(targets)
+	}
+	if k == 0 {
+		return nil
+	}
+	h := make(neighborHeap, 0, k)
+	for _, t := range targets {
 		pos, ok := t.Last()
 		if !ok {
 			continue
 		}
-		all = append(all, Neighbor{
+		nb := Neighbor{
 			Target:   t,
 			Position: pos,
 			Distance: from.DistanceTo(pos.Global),
-		})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Distance != all[j].Distance {
-			return all[i].Distance < all[j].Distance
 		}
-		return all[i].Target.ID() < all[j].Target.ID()
-	})
-	if k > 0 && k < len(all) {
-		all = all[:k]
+		switch {
+		case len(h) < k:
+			heap.Push(&h, nb)
+		case neighborLess(nb, h[0]):
+			h[0] = nb
+			heap.Fix(&h, 0)
+		}
 	}
-	return all
+	if len(h) == 0 {
+		return nil
+	}
+	sort.Slice(h, func(i, j int) bool { return neighborLess(h[i], h[j]) })
+	return h
+}
+
+// neighborLess orders neighbors by distance, tie-broken by target ID
+// for determinism.
+func neighborLess(a, b Neighbor) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.Target.ID() < b.Target.ID()
+}
+
+// neighborHeap is a max-heap on neighborLess: the root is the worst of
+// the k best seen so far, evicted when a closer candidate arrives.
+type neighborHeap []Neighbor
+
+func (h neighborHeap) Len() int           { return len(h) }
+func (h neighborHeap) Less(i, j int) bool { return neighborLess(h[j], h[i]) }
+func (h neighborHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x any)        { *h = append(*h, x.(Neighbor)) }
+func (h *neighborHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
 }

@@ -2,6 +2,9 @@ package positioning
 
 import (
 	"errors"
+	"fmt"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -212,6 +215,174 @@ func TestTargetsAndKNearest(t *testing.T) {
 	}
 	if got := len(m.Targets()); got != 4 {
 		t.Errorf("Targets = %d, want 4", got)
+	}
+}
+
+// TestKNearestMatchesFullSort: the heap selection agrees with a plain
+// full sort for every k over a spread of target layouts.
+func TestKNearestMatchesFullSort(t *testing.T) {
+	m := &Manager{}
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	// Distances include duplicates so the ID tie-break is exercised.
+	dists := []float64{40, 10, 40, 250, 3, 10, 80, 40, 0, 120}
+	for i, d := range dists {
+		id := fmt.Sprintf("t%02d", i)
+		p := NewProvider(id+"-gps", ProviderInfo{Technology: "gps"}, nil)
+		if err := m.Register(p); err != nil {
+			t.Fatal(err)
+		}
+		tgt := m.Track(id)
+		tgt.Attach(p)
+		p.Deliver(posAt(origin.Offset(d, float64(i*36)), at, 3, "gps"))
+	}
+	m.Track("no-position")
+
+	// Reference: full sort with the same ordering rule.
+	var ref []Neighbor
+	for _, tgt := range m.Targets() {
+		pos, ok := tgt.Last()
+		if !ok {
+			continue
+		}
+		ref = append(ref, Neighbor{Target: tgt, Position: pos, Distance: origin.DistanceTo(pos.Global)})
+	}
+	sort.Slice(ref, func(i, j int) bool { return neighborLess(ref[i], ref[j]) })
+
+	for k := 0; k <= len(dists)+2; k++ {
+		got := m.KNearest(origin, k)
+		want := ref
+		if k > 0 && k < len(ref) {
+			want = ref[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: %d entries, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Target != want[i].Target || got[i].Distance != want[i].Distance {
+				t.Errorf("k=%d entry %d: %s@%.2f, want %s@%.2f", k, i,
+					got[i].Target.ID(), got[i].Distance, want[i].Target.ID(), want[i].Distance)
+			}
+		}
+	}
+}
+
+// sessionSource is a fake runtime: ProvidersFor spins up one provider
+// per target, Release reclaims it.
+type sessionSource struct {
+	mu       sync.Mutex
+	live     map[string]*Provider
+	creates  int
+	releases []string
+	fail     bool
+}
+
+func (s *sessionSource) ProvidersFor(id string) ([]*Provider, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail {
+		return nil, errors.New("spin-up failed")
+	}
+	if p, ok := s.live[id]; ok {
+		return []*Provider{p}, nil
+	}
+	if s.live == nil {
+		s.live = make(map[string]*Provider)
+	}
+	s.creates++
+	p := NewProvider(id+"-session", ProviderInfo{Technology: "fused"}, nil)
+	s.live[id] = p
+	return []*Provider{p}, nil
+}
+
+func (s *sessionSource) Release(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.live, id)
+	s.releases = append(s.releases, id)
+}
+
+func TestTrackObtainsProvidersFromSource(t *testing.T) {
+	m := &Manager{}
+	src := &sessionSource{}
+	m.BindSource(src)
+
+	tgt, err := m.TrackErr("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	provs := tgt.Providers()
+	if len(provs) != 1 || provs[0].Name() != "alice-session" {
+		t.Fatalf("Providers = %v", provs)
+	}
+	// Tracking again reuses the registration, no second spin-up.
+	if again := m.Track("alice"); again != tgt {
+		t.Error("Track not idempotent with a source")
+	}
+	if src.creates != 1 {
+		t.Errorf("creates = %d, want 1", src.creates)
+	}
+
+	// The source-supplied provider feeds the target.
+	at := time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+	provs[0].Deliver(posAt(origin, at, 2, "fused"))
+	if pos, ok := tgt.Last(); !ok || pos.Source != "fused" {
+		t.Errorf("Last = %+v, %v", pos, ok)
+	}
+
+	// Untrack releases the session and forgets the target.
+	m.Untrack("alice")
+	if len(src.releases) != 1 || src.releases[0] != "alice" {
+		t.Errorf("releases = %v", src.releases)
+	}
+	if got := len(m.Targets()); got != 0 {
+		t.Errorf("Targets after Untrack = %d", got)
+	}
+	// Unknown IDs are a no-op, not a release.
+	m.Untrack("nobody")
+	if len(src.releases) != 1 {
+		t.Errorf("releases after unknown Untrack = %v", src.releases)
+	}
+
+	// Re-tracking spins up a fresh session.
+	if _, err := m.TrackErr("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if src.creates != 2 {
+		t.Errorf("creates after re-track = %d, want 2", src.creates)
+	}
+}
+
+func TestTrackErrSurfacesSourceFailure(t *testing.T) {
+	m := &Manager{}
+	src := &sessionSource{fail: true}
+	m.BindSource(src)
+	if _, err := m.TrackErr("alice"); err == nil {
+		t.Fatal("TrackErr swallowed the source failure")
+	}
+	if got := len(m.Targets()); got != 0 {
+		t.Errorf("failed track left %d targets", got)
+	}
+	// Track degrades to a bare target instead of panicking.
+	tgt := m.Track("alice")
+	if tgt == nil || len(tgt.Providers()) != 0 {
+		t.Errorf("degraded Track = %+v", tgt)
+	}
+}
+
+func TestTargetDetach(t *testing.T) {
+	m := &Manager{}
+	tgt := m.Track("t")
+	a := NewProvider("a", ProviderInfo{}, nil)
+	b := NewProvider("b", ProviderInfo{}, nil)
+	tgt.Attach(a)
+	tgt.Attach(b)
+	tgt.Detach(a)
+	if provs := tgt.Providers(); len(provs) != 1 || provs[0] != b {
+		t.Errorf("Providers after Detach = %v", provs)
+	}
+	tgt.Detach(a) // unknown: no-op
+	if len(tgt.Providers()) != 1 {
+		t.Error("double Detach removed the wrong provider")
 	}
 }
 

@@ -85,6 +85,15 @@ func (r *Registry) Names() []string {
 	return out
 }
 
+// Instantiated records one component the resolver created: its fresh
+// instance ID and the registered type it came from. The pairing is what
+// lets a Blueprint replay the resolved structure with new instances —
+// resolution runs once, instantiation many times.
+type Instantiated struct {
+	ID   string
+	Type string
+}
+
 // Resolve connects every unconnected input port in g, preferring
 // existing nodes and instantiating registered component types when no
 // existing output satisfies a requirement. Newly instantiated
@@ -98,7 +107,20 @@ func (r *Registry) Names() []string {
 // its own provider chain, which keeps self-feeding types (e.g. fusion
 // components that consume and produce positions) from recursing.
 func (r *Registry) Resolve(g *core.Graph) ([]string, error) {
-	var created []string
+	plan, err := r.ResolvePlan(g)
+	ids := make([]string, len(plan))
+	for i, inst := range plan {
+		ids[i] = inst.ID
+	}
+	return ids, err
+}
+
+// ResolvePlan is Resolve returning the full instantiation plan —
+// (instance ID, type) pairs in instantiation order — so callers can
+// reify the resolved structure into a reusable core.Blueprint instead
+// of keeping only the one live graph.
+func (r *Registry) ResolvePlan(g *core.Graph) ([]Instantiated, error) {
+	var created []Instantiated
 	instances := make(map[string]int)
 
 	for {
@@ -136,7 +158,7 @@ func firstOpenPort(g *core.Graph) (openPort, bool) {
 // satisfy connects one open port, instantiating (and if necessary
 // backtracking) a provider chain. path holds the registration names on
 // the current recursion path. It returns the IDs it instantiated.
-func (r *Registry) satisfy(g *core.Graph, p openPort, instances map[string]int, path map[string]bool, depth int) ([]string, error) {
+func (r *Registry) satisfy(g *core.Graph, p openPort, instances map[string]int, path map[string]bool, depth int) ([]Instantiated, error) {
 	if depth > 32 {
 		return nil, ErrDepth
 	}
@@ -185,7 +207,7 @@ func (r *Registry) satisfy(g *core.Graph, p openPort, instances map[string]int, 
 			_ = g.Remove(id)
 			continue
 		}
-		created := []string{id}
+		created := []Instantiated{{ID: id, Type: name}}
 
 		// Satisfy the new component's own inputs.
 		path[name] = true
@@ -208,7 +230,7 @@ func (r *Registry) satisfy(g *core.Graph, p openPort, instances map[string]int, 
 		// Backtrack: remove everything this attempt instantiated
 		// (reverse order; Remove detaches edges).
 		for i := len(created) - 1; i >= 0; i-- {
-			_ = g.Remove(created[i])
+			_ = g.Remove(created[i].ID)
 		}
 	}
 

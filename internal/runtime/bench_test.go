@@ -1,0 +1,83 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perpos/internal/positioning"
+)
+
+// BenchmarkRuntimeSessions measures multi-tenant session throughput:
+// N concurrent targets, each with its own pipeline instance from ONE
+// shared blueprint, each paced like a live sensor (one source step per
+// pace interval). The reported samples/s is the aggregate position
+// delivery rate across all sessions over the measurement window — on
+// an unsaturated machine it scales linearly with the session count,
+// so the per-session runtime overhead (shard lookups, inboxes, layer
+// taps, provider delivery) is what bounds the curve.
+//
+// Paced, not free-running: positioning workloads are c10k-shaped (many
+// mostly-idle targets), so the interesting quantity is how many live
+// sessions one process sustains, not how fast one session can spin.
+func BenchmarkRuntimeSessions(b *testing.B) {
+	for _, n := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("sessions_%d", n), func(b *testing.B) {
+			benchSessions(b, n)
+		})
+	}
+}
+
+func benchSessions(b *testing.B, n int) {
+	const (
+		pace   = 20 * time.Millisecond
+		window = 300 * time.Millisecond
+	)
+	cfg := gpsSessionConfig(b)
+	var delivered atomic.Int64
+
+	for iter := 0; iter < b.N; iter++ {
+		m, err := NewManager(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sessions := make([]*Session, n)
+		for i := range sessions {
+			s, err := m.GetOrCreate(fmt.Sprintf("target-%04d", i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Provider().Subscribe(func(positioning.Position) { delivered.Add(1) })
+			sessions[i] = s
+		}
+
+		deadline := time.Now().Add(window)
+		var wg sync.WaitGroup
+		for _, s := range sessions {
+			s := s
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					more, err := s.Step()
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if !more {
+						return
+					}
+					time.Sleep(pace)
+				}
+			}()
+		}
+		wg.Wait()
+		m.Close()
+	}
+
+	perWindow := float64(delivered.Load()) / float64(b.N)
+	b.ReportMetric(perWindow/window.Seconds(), "samples/s")
+	b.ReportMetric(perWindow/float64(n), "samples/session")
+}

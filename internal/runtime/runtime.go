@@ -1,0 +1,201 @@
+package runtime
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Manager is the sharded session registry: one Session per tracked
+// target, all instantiated from the shared blueprint in its
+// SessionConfig. It implements positioning.ReleasingSource, so binding
+// it to a positioning.Manager (BindSource) makes Track spin up a
+// pipeline instance and Untrack reclaim it.
+//
+// Lock order: shard locks are leaves — no session method and no
+// callback (onEvict) runs under a shard lock, so sources bound to a
+// positioning.Manager cannot deadlock against it.
+type Manager struct {
+	cfg     SessionConfig
+	shards  []shard
+	clock   func() time.Time
+	onEvict func(s *Session)
+}
+
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithShards sets the shard count (default 16). More shards cut lock
+// contention between unrelated targets; one shard serializes everything.
+func WithShards(n int) Option {
+	return func(m *Manager) {
+		if n > 0 {
+			m.shards = make([]shard, n)
+		}
+	}
+}
+
+// WithClock substitutes the idle-eviction clock (tests).
+func WithClock(now func() time.Time) Option {
+	return func(m *Manager) {
+		if now != nil {
+			m.clock = now
+		}
+	}
+}
+
+// WithOnEvict registers a callback fired after a session is removed and
+// closed — e.g. to Untrack the target or record churn. It runs outside
+// all manager locks.
+func WithOnEvict(fn func(s *Session)) Option {
+	return func(m *Manager) { m.onEvict = fn }
+}
+
+// NewManager returns a session manager for the given config.
+func NewManager(cfg SessionConfig, opts ...Option) (*Manager, error) {
+	if cfg.Blueprint == nil {
+		return nil, ErrNoBlueprint
+	}
+	m := &Manager{
+		cfg:    cfg,
+		shards: make([]shard, 16),
+		clock:  time.Now,
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m, nil
+}
+
+func (m *Manager) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &m.shards[h.Sum32()%uint32(len(m.shards))]
+}
+
+// Get returns the live session for the target, if any.
+func (m *Manager) Get(id string) (*Session, bool) {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+// GetOrCreate returns the target's session, instantiating the shared
+// blueprint into a new one when the target is untracked. Creation runs
+// under the target's shard lock, so concurrent callers for the same ID
+// get the same session and the blueprint is instantiated exactly once
+// per target; other shards proceed in parallel.
+func (m *Manager) GetOrCreate(id string) (*Session, error) {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	if ok {
+		s.touch()
+		return s, nil
+	}
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok := sh.sessions[id]; ok {
+		s.touch()
+		return s, nil
+	}
+	s, err := newSession(id, m.cfg, m.clock)
+	if err != nil {
+		return nil, err
+	}
+	if sh.sessions == nil {
+		sh.sessions = make(map[string]*Session)
+	}
+	sh.sessions[id] = s
+	return s, nil
+}
+
+// Evict removes and closes the target's session. The close and the
+// onEvict callback run outside the shard lock. It reports whether a
+// session existed.
+func (m *Manager) Evict(id string) bool {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	if ok {
+		delete(sh.sessions, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.close()
+	if m.onEvict != nil {
+		m.onEvict(s)
+	}
+	return true
+}
+
+// EvictIdle removes and closes every session idle for at least the
+// given duration, returning how many were evicted.
+func (m *Manager) EvictIdle(olderThan time.Duration) int {
+	cutoff := m.clock().Add(-olderThan)
+	var victims []*Session
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for id, s := range sh.sessions {
+			if !s.LastUsed().After(cutoff) {
+				delete(sh.sessions, id)
+				victims = append(victims, s)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for _, s := range victims {
+		s.close()
+		if m.onEvict != nil {
+			m.onEvict(s)
+		}
+	}
+	return len(victims)
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		n += len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// IDs returns the live session IDs, sorted.
+func (m *Manager) IDs() []string {
+	var out []string
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for id := range sh.sessions {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close evicts every session.
+func (m *Manager) Close() {
+	for _, id := range m.IDs() {
+		m.Evict(id)
+	}
+}

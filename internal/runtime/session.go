@@ -1,0 +1,263 @@
+// Package runtime is the multi-tenant session layer between the shared
+// pipeline blueprints and the Positioning Layer: one pipeline instance
+// per tracked target, spun up on demand from a shared core.Blueprint,
+// with the immutable deps (building model, fingerprint database,
+// catalog registrations) captured once in the blueprint's factories and
+// shared by every instance. Sessions are adapted individually through
+// the PSL/PCL — the translucency story of the paper applied per target
+// — and evicted when tracking stops or the target idles out.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"perpos/internal/channel"
+	"perpos/internal/core"
+	"perpos/internal/positioning"
+)
+
+// Errors returned by sessions and the manager.
+var (
+	// ErrClosed indicates use of an evicted session.
+	ErrClosed = errors.New("runtime: session closed")
+	// ErrStarted indicates Start on an already-running session.
+	ErrStarted = errors.New("runtime: session already started")
+	// ErrNoBlueprint indicates a manager configured without a blueprint.
+	ErrNoBlueprint = errors.New("runtime: config needs a blueprint")
+)
+
+// SessionConfig describes how the manager turns the shared blueprint
+// into one session per target.
+type SessionConfig struct {
+	// Blueprint is the shared pipeline structure every session
+	// instantiates. Its factories close over the immutable shared deps.
+	Blueprint *core.Blueprint
+	// Overrides supplies the per-session instantiate options — typically
+	// core.WithComponentOverride for the blueprint's sensor placeholders,
+	// seeded or bound per target. May be nil when the blueprint has no
+	// placeholders beyond the sink.
+	Overrides func(sessionID string) []core.InstantiateOption
+	// SinkID names the placeholder slot the manager terminates with a
+	// positioning.Provider sink (default "app"). The manager's sink
+	// override is applied last and wins over Overrides for this slot.
+	SinkID string
+	// Provider describes each session's provider for criteria matching.
+	Provider positioning.ProviderInfo
+	// History bounds the channel layer's per-component sample history
+	// (0 keeps channel.NewLayer's default). Multi-tenant deployments
+	// want this small: history is the dominant per-session allocation.
+	History int
+	// InboxCapacity configures the async runner started by
+	// Session.Start (0 keeps the runner default of 1).
+	InboxCapacity int
+}
+
+// Session is one target's live pipeline: a private graph instantiated
+// from the shared blueprint, its channel-layer view, and the provider
+// the Positioning Layer hands to applications.
+type Session struct {
+	id       string
+	graph    *core.Graph
+	layer    *channel.Layer
+	provider *positioning.Provider
+	sinkID   string
+	inboxCap int
+	clock    func() time.Time
+
+	mu       sync.Mutex
+	runner   *core.Runner
+	lastUsed time.Time
+	closed   bool
+}
+
+// newSession instantiates the blueprint into a fresh session.
+func newSession(id string, cfg SessionConfig, clock func() time.Time) (*Session, error) {
+	s := &Session{
+		id:       id,
+		sinkID:   cfg.SinkID,
+		inboxCap: cfg.InboxCapacity,
+		clock:    clock,
+	}
+	if s.sinkID == "" {
+		s.sinkID = "app"
+	}
+	// The provider's feature lookup goes through the session's channel
+	// layer, so Channel Features installed per session stay reachable
+	// from the Positioning Layer (translucency per target).
+	s.provider = positioning.NewProvider(id, cfg.Provider, s.feature)
+
+	var opts []core.InstantiateOption
+	if cfg.Overrides != nil {
+		opts = cfg.Overrides(id)
+	}
+	opts = append(opts, core.WithComponentOverride(s.sinkID, func(cid string) core.Component {
+		return positioning.NewProviderSink(cid, s.provider)
+	}))
+	g, err := cfg.Blueprint.Instantiate(opts...)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: session %q: %w", id, err)
+	}
+	var layerOpts []channel.LayerOption
+	if cfg.History > 0 {
+		layerOpts = append(layerOpts, channel.WithHistory(cfg.History))
+	}
+	s.graph = g
+	s.layer = channel.NewLayer(g, layerOpts...)
+	s.lastUsed = clock()
+	return s, nil
+}
+
+// ID returns the session's target ID.
+func (s *Session) ID() string { return s.id }
+
+// Graph returns the session's private pipeline instance.
+func (s *Session) Graph() *core.Graph { return s.graph }
+
+// Layer returns the session's channel-layer view.
+func (s *Session) Layer() *channel.Layer { return s.layer }
+
+// Provider returns the provider delivering this session's positions.
+func (s *Session) Provider() *positioning.Provider { return s.provider }
+
+// feature resolves a named feature through the channel delivering into
+// the session's sink — the provider's FeatureLookup.
+func (s *Session) feature(name string) (any, bool) {
+	if c, ok := s.layer.ChannelInto(s.sinkID, 0); ok {
+		if f, ok := c.Feature(name); ok {
+			return f, true
+		}
+	}
+	// Fall back to any channel in the session (merge inputs etc.).
+	for _, c := range s.layer.Channels() {
+		if f, ok := c.Feature(name); ok {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Adapt applies a structural or feature change to this session only —
+// the per-target PSL seam. The channel layer is refreshed afterwards so
+// Channel Features survive the edit. Fails with core.ErrRunning while
+// the session's async runner is active.
+func (s *Session) Adapt(fn func(g *core.Graph, l *channel.Layer) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := fn(s.graph, s.layer); err != nil {
+		return err
+	}
+	s.layer.Refresh()
+	s.lastUsed = s.clock()
+	return nil
+}
+
+// Run drives the session synchronously until its sources are exhausted
+// (or maxTicks), returning the number of source steps taken.
+func (s *Session) Run(maxTicks int) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	s.lastUsed = s.clock()
+	s.mu.Unlock()
+	return s.graph.Run(maxTicks)
+}
+
+// Step advances every source in the session by one sample.
+func (s *Session) Step() (bool, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false, ErrClosed
+	}
+	s.lastUsed = s.clock()
+	s.mu.Unlock()
+	return s.graph.StepAll()
+}
+
+// Start launches the session's async runner (one goroutine per
+// component, bounded inboxes sized by SessionConfig.InboxCapacity).
+func (s *Session) Start(ctx context.Context, opts ...core.RunnerOption) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.runner != nil {
+		return ErrStarted
+	}
+	if s.inboxCap > 0 {
+		opts = append([]core.RunnerOption{core.WithInboxCapacity(s.inboxCap)}, opts...)
+	}
+	r := core.NewRunner(s.graph, opts...)
+	if err := r.Start(ctx); err != nil {
+		return err
+	}
+	s.runner = r
+	s.lastUsed = s.clock()
+	return nil
+}
+
+// WaitSources blocks until the running session's sources are exhausted
+// and in-flight samples have drained.
+func (s *Session) WaitSources() {
+	s.mu.Lock()
+	r := s.runner
+	s.mu.Unlock()
+	if r != nil {
+		r.WaitSources()
+	}
+}
+
+// Stop halts the session's async runner.
+func (s *Session) Stop() error {
+	s.mu.Lock()
+	r := s.runner
+	s.runner = nil
+	s.mu.Unlock()
+	if r == nil {
+		return nil
+	}
+	return r.Stop()
+}
+
+// LastUsed reports when the session last served a call — the idle
+// eviction clock.
+func (s *Session) LastUsed() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastUsed
+}
+
+// touch refreshes the idle clock.
+func (s *Session) touch() {
+	s.mu.Lock()
+	s.lastUsed = s.clock()
+	s.mu.Unlock()
+}
+
+// close tears the session down: the runner is stopped and the channel
+// layer detached. Idempotent.
+func (s *Session) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	r := s.runner
+	s.runner = nil
+	s.mu.Unlock()
+	if r != nil {
+		_ = r.Stop()
+	}
+	s.layer.Close()
+}

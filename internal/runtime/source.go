@@ -1,0 +1,24 @@
+package runtime
+
+import "perpos/internal/positioning"
+
+// The manager is a positioning provider source: binding it to a
+// positioning.Manager makes Track spin up a session and Untrack
+// reclaim it.
+var _ positioning.ReleasingSource = (*Manager)(nil)
+
+// ProvidersFor implements positioning.ProviderSource: tracking a target
+// creates (or reuses) its session and hands back the session provider.
+func (m *Manager) ProvidersFor(id string) ([]*positioning.Provider, error) {
+	s, err := m.GetOrCreate(id)
+	if err != nil {
+		return nil, err
+	}
+	return []*positioning.Provider{s.Provider()}, nil
+}
+
+// Release implements positioning.ReleasingSource: untracking a target
+// evicts its session.
+func (m *Manager) Release(id string) {
+	m.Evict(id)
+}
