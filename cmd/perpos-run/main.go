@@ -11,6 +11,8 @@
 //	perpos-run -config pipeline.json   # declarative system-level configuration
 //	perpos-run -targets 25          # 25 concurrent tracked targets, one
 //	                                # session each from a shared blueprint
+//	perpos-run -chaos               # supervised fusion session surviving an
+//	                                # injected WiFi outage (self-healing demo)
 //
 // Configurations (see internal/config) may reference two pre-built
 // instances: "gps" (a receiver on a commute trace) and "app" (a
@@ -19,19 +21,24 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"perpos/internal/building"
 	"perpos/internal/catalog"
+	"perpos/internal/chaos"
 	"perpos/internal/config"
 	"perpos/internal/core"
 	"perpos/internal/eval"
 	"perpos/internal/filter"
 	"perpos/internal/gps"
+	"perpos/internal/health"
 	"perpos/internal/positioning"
 	"perpos/internal/runtime"
 	"perpos/internal/trace"
@@ -52,6 +59,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	maxLines := fs.Int("max", 50, "maximum positions to print (0 = all)")
 	targets := fs.Int("targets", 0, "track N concurrent targets through per-target sessions (multi-tenant mode)")
+	chaosDemo := fs.Bool("chaos", false, "run a supervised fusion session through an injected WiFi outage")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +69,9 @@ func run(args []string) error {
 	}
 	if *targets > 0 {
 		return runTargets(*targets, *seed)
+	}
+	if *chaosDemo {
+		return runChaos(*seed)
 	}
 
 	switch *pipeline {
@@ -235,6 +246,113 @@ func runTargets(n int, seed int64) error {
 	if rt.Len() != 0 {
 		return fmt.Errorf("%d sessions leaked after untrack", rt.Len())
 	}
+	return nil
+}
+
+// runChaos is the self-healing demo: a supervised fusion session whose
+// WiFi sensor is chaos-killed mid-run. The session's supervisor trips
+// the breaker, degrades the pipeline to the GPS branch (positions keep
+// flowing), and restores full fusion when the sensor comes back.
+func runChaos(seed int64) error {
+	b := building.Evaluation()
+	network := wifi.DefaultDeployment(b)
+	db := wifi.Survey(network, 0, wifi.SurveyConfig{Seed: seed + 1, GridStep: 4})
+	bp, err := catalog.FusionBlueprint(
+		catalog.Deps{Building: b, Database: db},
+		filter.Config{Particles: 150, Seed: seed + 2})
+	if err != nil {
+		return err
+	}
+	tr := trace.CorridorWalk(b, seed, 60, time.Second)
+
+	var wifiChaos *chaos.Source
+	m, err := runtime.NewManager(runtime.SessionConfig{
+		Blueprint: bp,
+		Provider:  positioning.ProviderInfo{Technology: "fused", TypicalAccuracy: 4},
+		History:   32,
+		Overrides: func(string) []core.InstantiateOption {
+			return []core.InstantiateOption{
+				core.WithComponentOverride("gps", func(cid string) core.Component {
+					return gps.NewReceiver(cid, tr, gps.Config{Seed: seed + 3, ColdStart: time.Second})
+				}),
+				core.WithComponentOverride("wifi", func(cid string) core.Component {
+					wifiChaos = chaos.WrapSource(wifi.NewSensor(cid, network, tr, time.Second, seed+4))
+					return wifiChaos
+				}),
+			}
+		},
+		Health: &health.Policy{
+			MaxConsecutiveErrors: 2,
+			Deadlines:            map[string]time.Duration{"wifi": 200 * time.Millisecond},
+			ProbeInterval:        10 * time.Millisecond,
+			Sweep:                5 * time.Millisecond,
+			Restart:              core.RestartPolicy{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond},
+		},
+		Reroutes: catalog.FusionDegradation(),
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+
+	s, err := m.GetOrCreate("demo")
+	if err != nil {
+		return err
+	}
+	provider := s.Provider()
+	var delivered atomic.Int64
+	provider.Subscribe(func(positioning.Position) { delivered.Add(1) })
+	provider.NotifyAvailability(func(a positioning.Availability) {
+		fmt.Printf("provider -> %s\n", a)
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := s.Start(ctx, core.WithSourceInterval(5*time.Millisecond)); err != nil {
+		return err
+	}
+	wait := func(what string, cond func() bool) error {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return nil
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return errors.New("timed out waiting for " + what)
+	}
+
+	if err := wait("fused positions", func() bool { return delivered.Load() >= 5 }); err != nil {
+		return err
+	}
+	fmt.Printf("fusion delivering (%d positions); injecting WiFi outage\n", delivered.Load())
+
+	wifiChaos.Kill(nil)
+	if err := wait("degradation", func() bool {
+		return provider.Availability() == positioning.TemporarilyUnavailable && s.Supervisor().Degraded()
+	}); err != nil {
+		return err
+	}
+	atOutage := delivered.Load()
+	if err := wait("GPS-branch positions during the outage", func() bool {
+		return delivered.Load() >= atOutage+5
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("degraded to GPS branch; %d positions delivered during the outage\n",
+		delivered.Load()-atOutage)
+
+	wifiChaos.Heal()
+	if err := wait("recovery", func() bool {
+		return provider.Availability() == positioning.Available && !s.Supervisor().Degraded()
+	}); err != nil {
+		return err
+	}
+	_ = s.Stop() // the injected outage leaves expected errors behind
+	for _, h := range s.Monitor().Snapshot() {
+		fmt.Printf("node %-18s errors=%d restarts=%d trips=%d\n", h.Node, h.Errors, h.Restarts, h.Trips)
+	}
+	fmt.Printf("survived injected outage: %d positions total, fusion restored\n", delivered.Load())
 	return nil
 }
 

@@ -117,6 +117,21 @@ func TestBinariesSmoke(t *testing.T) {
 		}
 	})
 
+	t.Run("perpos-run-chaos", func(t *testing.T) {
+		out := runBin(t, bins["perpos-run"], "-chaos", "-seed", "7")
+		for _, want := range []string{
+			"injecting WiFi outage",
+			"provider -> TEMPORARILY_UNAVAILABLE",
+			"degraded to GPS branch",
+			"provider -> AVAILABLE",
+			"survived injected outage",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("chaos demo output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
 	t.Run("perpos-bench-list", func(t *testing.T) {
 		out := runBin(t, bins["perpos-bench"], "-list")
 		if !strings.Contains(out, "E1") || !strings.Contains(out, "E10") {

@@ -17,6 +17,7 @@ import (
 	"perpos/internal/core"
 	"perpos/internal/filter"
 	"perpos/internal/gps"
+	"perpos/internal/health"
 	"perpos/internal/registry"
 	"perpos/internal/transport"
 	"perpos/internal/wifi"
@@ -185,4 +186,25 @@ func FusionBlueprint(deps Deps, fcfg filter.Config) (*core.Blueprint, error) {
 		}
 	}
 	return bp, nil
+}
+
+// FusionDegradation returns the graceful-degradation rules matching
+// FusionBlueprint: when either sensor branch trips its breaker, the
+// fused output edge is cut and the surviving branch's position stream
+// is routed straight to the application sink — the paper's PSL
+// connect/delete adaptation, driven by the supervisor instead of a
+// developer. Recovery reverses the edit, restoring full fusion.
+func FusionDegradation() []health.Reroute {
+	return []health.Reroute{
+		{
+			Watch: "wifi",
+			Break: core.Edge{From: "particle-filter", To: "app", Port: 0},
+			Make:  core.Edge{From: "interpreter", To: "app", Port: 0},
+		},
+		{
+			Watch: "gps",
+			Break: core.Edge{From: "particle-filter", To: "app", Port: 0},
+			Make:  core.Edge{From: "wifi-positioning", To: "app", Port: 0},
+		},
+	}
 }

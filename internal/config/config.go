@@ -46,6 +46,11 @@ type Pipeline struct {
 	// Resolve, when true, runs registry dependency resolution for any
 	// input ports the explicit connections left open.
 	Resolve bool `json:"resolve,omitempty"`
+	// Supervision declares the pipeline's self-healing policy: breaker
+	// thresholds, watchdog deadlines, restart backoff and degradation
+	// reroutes. Consumed by the session runtime; nil disables
+	// supervision.
+	Supervision *SupervisionDef `json:"supervision,omitempty"`
 }
 
 // ComponentDef places one component.

@@ -37,8 +37,9 @@ type Graph struct {
 	taps  map[int]TapFunc
 	tapID int
 
-	errMu sync.Mutex
-	errs  []error
+	errMu      sync.Mutex
+	errs       []error
+	errDropped int
 
 	running atomic.Bool
 	// deliver is installed by a running async Runner; nil means
@@ -369,9 +370,18 @@ func (g *Graph) notifyTaps(componentID string, s Sample) {
 	}
 }
 
+// maxGraphErrors bounds the error buffer: a persistently failing
+// component in a long-running pipeline must not grow memory without
+// bound. Overflow is summarised by drainErrors.
+const maxGraphErrors = 256
+
 func (g *Graph) noteError(err error) {
 	g.errMu.Lock()
 	defer g.errMu.Unlock()
+	if len(g.errs) >= maxGraphErrors {
+		g.errDropped++
+		return
+	}
 	g.errs = append(g.errs, err)
 }
 
@@ -379,11 +389,17 @@ func (g *Graph) noteError(err error) {
 func (g *Graph) drainErrors() error {
 	g.errMu.Lock()
 	defer g.errMu.Unlock()
-	if len(g.errs) == 0 {
+	if len(g.errs) == 0 && g.errDropped == 0 {
 		return nil
 	}
-	err := errors.Join(g.errs...)
+	errs := g.errs
+	if g.errDropped > 0 {
+		errs = append(errs, fmt.Errorf("core: %d further errors dropped (buffer capped at %d)",
+			g.errDropped, maxGraphErrors))
+	}
+	err := errors.Join(errs...)
 	g.errs = nil
+	g.errDropped = 0
 	return err
 }
 

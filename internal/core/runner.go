@@ -22,6 +22,9 @@ type Runner struct {
 	g        *Graph
 	interval time.Duration
 	inboxCap int
+	observer RunnerObserver
+	gate     DeliveryGate
+	restart  *RestartPolicy
 
 	mu      sync.Mutex
 	started bool
@@ -39,8 +42,104 @@ type message struct {
 	s    Sample
 }
 
+// RunnerObserver receives engine-level health signals from a running
+// Runner: the outcome of every component process/step and source
+// lifecycle transitions. Implementations must be safe for concurrent
+// use — callbacks run on node and source goroutines. A nil observer
+// costs nothing; this is the seam internal/health hangs its per-node
+// error/panic accounting on.
+type RunnerObserver interface {
+	// NodeResult reports the outcome of one process or step on the
+	// node: err is nil on success and wraps ErrPanicked when the
+	// component panicked.
+	NodeResult(nodeID string, err error)
+	// SourceExhausted reports that a producer's goroutine is exiting
+	// for good (clean end of data, or restarts exhausted).
+	SourceExhausted(nodeID string)
+	// SourceRestarted reports a successful Restart of a failed source
+	// (attempt counts consecutive restarts since the last success).
+	SourceRestarted(nodeID string, attempt int)
+}
+
+// DeliveryGate is an optional RunnerObserver extension: when the
+// observer implements it, the runner consults Allow before delivering
+// each queued sample, letting a circuit breaker quarantine a
+// persistently failing node. Gated-off samples are dropped (still
+// counted as handled, so backpressure keeps draining) — positioning
+// data is perishable, and a wedged component must not stall siblings.
+type DeliveryGate interface {
+	Allow(nodeID string) bool
+}
+
+// Restartable is implemented by source components that can recover
+// from a failure — re-open a socket, re-acquire a device. The runner's
+// restart policy calls Restart after a source dies with an error;
+// a Restart error means "still down, keep backing off".
+type Restartable interface {
+	Restart() error
+}
+
+// RestartPolicy bounds the runner's restart-with-exponential-backoff
+// loop for Restartable sources that died with an error (Step returned
+// more=false and a non-nil error). Clean exhaustion never restarts.
+type RestartPolicy struct {
+	// MaxRestarts caps consecutive restart attempts; <= 0 means
+	// unlimited (the backoff cap bounds the retry rate).
+	MaxRestarts int
+	// Base is the first backoff delay (default 20ms).
+	Base time.Duration
+	// Max caps the backoff (default 2s).
+	Max time.Duration
+	// Multiplier grows the backoff per attempt (default 2).
+	Multiplier float64
+}
+
+// withDefaults fills zero fields.
+func (p RestartPolicy) withDefaults() RestartPolicy {
+	if p.Base <= 0 {
+		p.Base = 20 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 2 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	return p
+}
+
+// delay returns the backoff before restart attempt n (1-based).
+func (p RestartPolicy) delay(attempt int) time.Duration {
+	d := float64(p.Base)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.Max) {
+			return p.Max
+		}
+	}
+	if d > float64(p.Max) {
+		return p.Max
+	}
+	return time.Duration(d)
+}
+
 // RunnerOption configures a Runner.
 type RunnerOption func(*Runner)
+
+// WithRunnerObserver installs a health observer (and, when it also
+// implements DeliveryGate, a delivery gate) on the runner.
+func WithRunnerObserver(o RunnerObserver) RunnerOption {
+	return func(r *Runner) { r.observer = o }
+}
+
+// WithSourceRestart enables restart-with-exponential-backoff for
+// Restartable sources that die with an error.
+func WithSourceRestart(p RestartPolicy) RunnerOption {
+	return func(r *Runner) {
+		pp := p.withDefaults()
+		r.restart = &pp
+	}
+}
 
 // WithSourceInterval makes producer sources step at the given period
 // instead of free-running (live-pipeline pacing).
@@ -94,6 +193,12 @@ func (r *Runner) Start(ctx context.Context) error {
 		r.inboxes[n] <- message{port: port, s: s}
 	})
 
+	if r.observer != nil {
+		if g, ok := r.observer.(DeliveryGate); ok {
+			r.gate = g
+		}
+	}
+
 	done := make(chan struct{})
 	for _, n := range nodes {
 		n := n
@@ -104,18 +209,14 @@ func (r *Runner) Start(ctx context.Context) error {
 			for {
 				select {
 				case m := <-inbox:
-					if err := n.process(m.port, m.s); err != nil {
-						r.g.noteError(err)
-					}
+					r.handle(n, m)
 					r.inflight.Done()
 				case <-done:
 					// Drain anything that raced with shutdown.
 					for {
 						select {
 						case m := <-inbox:
-							if err := n.process(m.port, m.s); err != nil {
-								r.g.noteError(err)
-							}
+							r.handle(n, m)
 							r.inflight.Done()
 						default:
 							return
@@ -135,37 +236,97 @@ func (r *Runner) Start(ctx context.Context) error {
 		r.sources.Add(1)
 		go func() {
 			defer r.sources.Done()
-			var ticker *time.Ticker
-			if r.interval > 0 {
-				ticker = time.NewTicker(r.interval)
-				defer ticker.Stop()
-			}
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				default:
-				}
-				more, err := n.step()
-				if err != nil {
-					r.g.noteError(err)
-				}
-				if !more {
-					return
-				}
-				if ticker != nil {
-					select {
-					case <-ctx.Done():
-						return
-					case <-ticker.C:
-					}
-				}
-			}
+			r.driveSource(ctx, n)
 		}()
 	}
 
 	r.started = true
 	return nil
+}
+
+// handle delivers one queued sample to a node, applying the delivery
+// gate and reporting the outcome to the observer.
+func (r *Runner) handle(n *Node, m message) {
+	if r.gate != nil && !r.gate.Allow(n.ID()) {
+		return
+	}
+	err := n.process(m.port, m.s)
+	if err != nil {
+		r.g.noteError(err)
+	}
+	if r.observer != nil {
+		r.observer.NodeResult(n.ID(), err)
+	}
+}
+
+// driveSource steps one producer until exhaustion, restarting failed
+// Restartable sources with exponential backoff when a restart policy
+// is installed.
+func (r *Runner) driveSource(ctx context.Context, n *Node) {
+	var ticker *time.Ticker
+	if r.interval > 0 {
+		ticker = time.NewTicker(r.interval)
+		defer ticker.Stop()
+	}
+	attempt := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		more, err := n.step()
+		if err != nil {
+			r.g.noteError(err)
+		}
+		if r.observer != nil {
+			r.observer.NodeResult(n.ID(), err)
+		}
+		if !more {
+			rc, restartable := n.comp.(Restartable)
+			if err == nil || !restartable || r.restart == nil {
+				// Clean exhaustion, or nothing to restart: done.
+				if r.observer != nil {
+					r.observer.SourceExhausted(n.ID())
+				}
+				return
+			}
+			attempt++
+			if r.restart.MaxRestarts > 0 && attempt > r.restart.MaxRestarts {
+				if r.observer != nil {
+					r.observer.SourceExhausted(n.ID())
+				}
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(r.restart.delay(attempt)):
+			}
+			if rerr := rc.Restart(); rerr != nil {
+				// Still down: keep backing off. The failure is reported
+				// to the observer but not accumulated in the graph's
+				// error buffer — a long outage is state, not new news.
+				if r.observer != nil {
+					r.observer.NodeResult(n.ID(), fmt.Errorf("source %q: restart: %w", n.ID(), rerr))
+				}
+				continue
+			}
+			if r.observer != nil {
+				r.observer.SourceRestarted(n.ID(), attempt)
+			}
+			attempt = 0
+			continue
+		}
+		attempt = 0
+		if ticker != nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
+		}
+	}
 }
 
 // Stop halts the sources, waits for all in-flight samples to drain,

@@ -1,0 +1,347 @@
+// Package health makes pipelines self-healing: per-node health
+// tracking (error/panic rates fed by the runner, a last-output
+// watchdog fed by graph taps), a circuit breaker that quarantines a
+// persistently failing node, and a Supervisor that reacts to breaker
+// transitions with the paper's own adaptation machinery — PSL graph
+// manipulation that degrades a fused pipeline to its surviving branch
+// and restores the full graph on recovery.
+//
+// The node state machine:
+//
+//	            consecutive errors >= MaxConsecutiveErrors
+//	            or silence > deadline (watched nodes)
+//	  Healthy ────────────────────────────────────────────▶ Down
+//	     ▲                                                   │
+//	     └───────────────────────────────────────────────────┘
+//	            RecoveryEmissions outputs observed
+//	            and the error streak broken
+//
+// While Down, the breaker quarantines the node (the runner's delivery
+// gate drops its inbox traffic) except for a half-open probe admitted
+// every ProbeInterval — the sample that lets a recovered component
+// prove itself. Sources are not gated; a dead source is restarted by
+// the runner with exponential backoff instead.
+package health
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"perpos/internal/core"
+)
+
+// State is a node's breaker state.
+type State int
+
+const (
+	// StateHealthy: the node processes and emits normally.
+	StateHealthy State = iota
+	// StateDown: the breaker is open — the node is quarantined and a
+	// degradation reroute (if configured) is engaged.
+	StateDown
+)
+
+// String renders the state.
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one node transition observed by the monitor.
+type Event struct {
+	// Node is the component ID.
+	Node string
+	// Up is true for Down→Healthy, false for Healthy→Down.
+	Up bool
+	// Reason explains the transition ("errors", "silence", "recovered",
+	// "reroute-failed", "restore-failed").
+	Reason string
+	// Err carries the triggering error, when there is one.
+	Err error
+	// At is the transition time (monitor clock).
+	At time.Time
+}
+
+// Policy tunes supervision. The zero value enables error-rate breaking
+// with defaults and no watchdog.
+type Policy struct {
+	// MaxConsecutiveErrors trips a node's breaker (default 3).
+	MaxConsecutiveErrors int
+	// Deadline is the default last-output watchdog deadline for
+	// watched nodes; 0 disables the default watchdog. A node is only
+	// held to its deadline after its first observed output, so cold
+	// starts (GPS acquisition) don't false-trip.
+	Deadline time.Duration
+	// Deadlines overrides the watchdog deadline per node; listing a
+	// node here also marks it watched.
+	Deadlines map[string]time.Duration
+	// RecoveryEmissions is how many outputs a Down node must produce
+	// before the breaker closes again (default 1).
+	RecoveryEmissions int
+	// ProbeInterval paces half-open probes to quarantined non-source
+	// nodes (default 500ms).
+	ProbeInterval time.Duration
+	// Sweep is the supervisor's evaluation period (default 50ms).
+	Sweep time.Duration
+	// Restart is the runner's backoff policy for Restartable sources.
+	Restart core.RestartPolicy
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxConsecutiveErrors <= 0 {
+		p.MaxConsecutiveErrors = 3
+	}
+	if p.RecoveryEmissions <= 0 {
+		p.RecoveryEmissions = 1
+	}
+	if p.ProbeInterval <= 0 {
+		p.ProbeInterval = 500 * time.Millisecond
+	}
+	if p.Sweep <= 0 {
+		p.Sweep = 50 * time.Millisecond
+	}
+	return p
+}
+
+// deadlineFor returns the watchdog deadline for a node (0 = unwatched).
+func (p Policy) deadlineFor(node string) time.Duration {
+	if d, ok := p.Deadlines[node]; ok {
+		return d
+	}
+	return p.Deadline
+}
+
+// NodeHealth is the externally visible health snapshot of one node.
+type NodeHealth struct {
+	Node              string
+	State             State
+	Errors            uint64
+	Panics            uint64
+	Successes         uint64
+	Restarts          uint64
+	ConsecutiveErrors int
+	LastOutput        time.Time
+	DownSince         time.Time
+	Trips             uint64
+}
+
+// nodeState is the monitor's mutable per-node record.
+type nodeState struct {
+	NodeHealth
+	hasOutput     bool
+	emissionsDown int       // outputs observed since the breaker opened
+	lastProbe     time.Time // last half-open probe admitted while Down
+	lastErr       error
+	watched       bool // held to a watchdog deadline
+}
+
+// Monitor tracks per-node health. It implements core.RunnerObserver
+// (error/panic accounting from the engine) and core.DeliveryGate (the
+// quarantine), and its Tap method is a core.TapFunc feeding the
+// last-output watchdog. All methods are safe for concurrent use.
+type Monitor struct {
+	mu     sync.Mutex
+	policy Policy
+	clock  func() time.Time
+	nodes  map[string]*nodeState
+}
+
+var (
+	_ core.RunnerObserver = (*Monitor)(nil)
+	_ core.DeliveryGate   = (*Monitor)(nil)
+)
+
+// MonitorOption configures a Monitor.
+type MonitorOption func(*Monitor)
+
+// WithClock substitutes the monitor clock (tests).
+func WithClock(now func() time.Time) MonitorOption {
+	return func(m *Monitor) {
+		if now != nil {
+			m.clock = now
+		}
+	}
+}
+
+// NewMonitor returns a monitor for the given policy.
+func NewMonitor(policy Policy, opts ...MonitorOption) *Monitor {
+	m := &Monitor{
+		policy: policy.withDefaults(),
+		clock:  time.Now,
+		nodes:  make(map[string]*nodeState),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	for node := range m.policy.Deadlines {
+		m.Watch(node)
+	}
+	return m
+}
+
+// Policy returns the effective (defaulted) policy.
+func (m *Monitor) Policy() Policy { return m.policy }
+
+// Watch registers a node for supervision ahead of traffic, arming its
+// watchdog deadline (if one is configured). Unwatched nodes are still
+// tracked lazily for error rates, but never deadline-tripped.
+func (m *Monitor) Watch(node string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.nodeLocked(node)
+	st.watched = true
+}
+
+// nodeLocked returns (creating on demand) the node's record.
+func (m *Monitor) nodeLocked(node string) *nodeState {
+	st, ok := m.nodes[node]
+	if !ok {
+		st = &nodeState{NodeHealth: NodeHealth{Node: node}}
+		m.nodes[node] = st
+	}
+	return st
+}
+
+// NodeResult implements core.RunnerObserver.
+func (m *Monitor) NodeResult(node string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.nodeLocked(node)
+	if err == nil {
+		st.Successes++
+		st.ConsecutiveErrors = 0
+		st.lastErr = nil
+		return
+	}
+	st.Errors++
+	st.ConsecutiveErrors++
+	st.lastErr = err
+	if errors.Is(err, core.ErrPanicked) {
+		st.Panics++
+	}
+}
+
+// SourceExhausted implements core.RunnerObserver.
+func (m *Monitor) SourceExhausted(string) {}
+
+// SourceRestarted implements core.RunnerObserver.
+func (m *Monitor) SourceRestarted(node string, _ int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodeLocked(node).Restarts++
+}
+
+// Tap is a core.TapFunc: every emission anywhere in the graph stamps
+// the emitting node's last-output time and counts toward recovery.
+func (m *Monitor) Tap(node string, _ core.Sample) {
+	now := m.clock()
+	m.mu.Lock()
+	st := m.nodeLocked(node)
+	st.LastOutput = now
+	st.hasOutput = true
+	if st.State == StateDown {
+		st.emissionsDown++
+	}
+	m.mu.Unlock()
+}
+
+// Allow implements core.DeliveryGate: quarantined nodes receive no
+// traffic except a half-open probe every ProbeInterval.
+func (m *Monitor) Allow(node string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.nodes[node]
+	if !ok || st.State != StateDown {
+		return true
+	}
+	now := m.clock()
+	if now.Sub(st.lastProbe) >= m.policy.ProbeInterval {
+		st.lastProbe = now
+		return true
+	}
+	return false
+}
+
+// Advance evaluates every node's breaker at the given time and returns
+// the transitions that occurred, in node order. The supervisor calls
+// this from its sweep loop; tests can drive it directly.
+func (m *Monitor) Advance(now time.Time) []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var events []Event
+	for _, st := range m.nodes {
+		switch st.State {
+		case StateHealthy:
+			if st.ConsecutiveErrors >= m.policy.MaxConsecutiveErrors {
+				events = append(events, m.tripLocked(st, now, "errors"))
+				continue
+			}
+			if d := m.policy.deadlineFor(st.Node); d > 0 && st.watched && st.hasOutput &&
+				now.Sub(st.LastOutput) > d {
+				events = append(events, m.tripLocked(st, now, "silence"))
+			}
+		case StateDown:
+			if st.emissionsDown >= m.policy.RecoveryEmissions && st.ConsecutiveErrors == 0 {
+				st.State = StateHealthy
+				st.DownSince = time.Time{}
+				st.emissionsDown = 0
+				events = append(events, Event{Node: st.Node, Up: true, Reason: "recovered", At: now})
+			}
+		}
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].Node < events[j].Node })
+	return events
+}
+
+// tripLocked opens a node's breaker. Called with m.mu held.
+func (m *Monitor) tripLocked(st *nodeState, now time.Time, reason string) Event {
+	st.State = StateDown
+	st.DownSince = now
+	st.emissionsDown = 0
+	st.lastProbe = now // first probe waits a full interval
+	st.Trips++
+	return Event{Node: st.Node, Up: false, Reason: reason, Err: st.lastErr, At: now}
+}
+
+// Health returns the node's current health snapshot.
+func (m *Monitor) Health(node string) (NodeHealth, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.nodes[node]
+	if !ok {
+		return NodeHealth{}, false
+	}
+	return st.NodeHealth, true
+}
+
+// Snapshot returns every tracked node's health, sorted by node ID.
+func (m *Monitor) Snapshot() []NodeHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]NodeHealth, 0, len(m.nodes))
+	for _, st := range m.nodes {
+		out = append(out, st.NodeHealth)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// AnyDown reports whether any tracked node's breaker is open.
+func (m *Monitor) AnyDown() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range m.nodes {
+		if st.State == StateDown {
+			return true
+		}
+	}
+	return false
+}

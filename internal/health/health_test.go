@@ -1,0 +1,244 @@
+package health
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"perpos/internal/core"
+)
+
+var t0 = time.Date(2025, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func TestBreakerTripsOnConsecutiveErrors(t *testing.T) {
+	m := NewMonitor(Policy{MaxConsecutiveErrors: 3})
+	boom := errors.New("boom")
+	m.NodeResult("wifi", boom)
+	m.NodeResult("wifi", boom)
+	if ev := m.Advance(t0); len(ev) != 0 {
+		t.Fatalf("tripped after 2 errors: %v", ev)
+	}
+	m.NodeResult("wifi", boom)
+	ev := m.Advance(t0)
+	if len(ev) != 1 || ev[0].Up || ev[0].Reason != "errors" {
+		t.Fatalf("events = %+v, want one down(errors)", ev)
+	}
+	if !errors.Is(ev[0].Err, boom) {
+		t.Errorf("event error = %v, want the tripping error", ev[0].Err)
+	}
+	h, ok := m.Health("wifi")
+	if !ok || h.State != StateDown || h.Trips != 1 {
+		t.Errorf("health = %+v, want down with 1 trip", h)
+	}
+}
+
+func TestSuccessBreaksTheStreak(t *testing.T) {
+	m := NewMonitor(Policy{MaxConsecutiveErrors: 2})
+	boom := errors.New("boom")
+	m.NodeResult("wifi", boom)
+	m.NodeResult("wifi", nil)
+	m.NodeResult("wifi", boom)
+	if ev := m.Advance(t0); len(ev) != 0 {
+		t.Fatalf("tripped on a broken streak: %v", ev)
+	}
+}
+
+func TestWatchdogTripsOnSilenceOnlyAfterFirstOutput(t *testing.T) {
+	m := NewMonitor(Policy{Deadline: time.Second})
+	m.Watch("wifi")
+	// Never emitted: no deadline, however much time passes (cold start).
+	if ev := m.Advance(t0.Add(time.Hour)); len(ev) != 0 {
+		t.Fatalf("cold-start watchdog tripped: %v", ev)
+	}
+	m.Tap("wifi", core.Sample{}) // monitor clock stamps real time here
+	h, _ := m.Health("wifi")
+	if ev := m.Advance(h.LastOutput.Add(500 * time.Millisecond)); len(ev) != 0 {
+		t.Fatalf("tripped within deadline: %v", ev)
+	}
+	ev := m.Advance(h.LastOutput.Add(2 * time.Second))
+	if len(ev) != 1 || ev[0].Up || ev[0].Reason != "silence" {
+		t.Fatalf("events = %+v, want one down(silence)", ev)
+	}
+}
+
+func TestUnwatchedNodesNeverDeadlineTrip(t *testing.T) {
+	m := NewMonitor(Policy{Deadline: time.Second})
+	m.Tap("lazy", core.Sample{})
+	h, _ := m.Health("lazy")
+	if ev := m.Advance(h.LastOutput.Add(time.Hour)); len(ev) != 0 {
+		t.Fatalf("unwatched node tripped: %v", ev)
+	}
+}
+
+func TestPerNodeDeadlineOverride(t *testing.T) {
+	m := NewMonitor(Policy{
+		Deadline:  time.Hour,
+		Deadlines: map[string]time.Duration{"wifi": 100 * time.Millisecond},
+	})
+	m.Tap("wifi", core.Sample{})
+	h, _ := m.Health("wifi")
+	ev := m.Advance(h.LastOutput.Add(200 * time.Millisecond))
+	if len(ev) != 1 || ev[0].Reason != "silence" {
+		t.Fatalf("events = %+v, want the per-node deadline to trip", ev)
+	}
+}
+
+func TestRecoveryNeedsEmissionsAndNoStreak(t *testing.T) {
+	m := NewMonitor(Policy{MaxConsecutiveErrors: 1, RecoveryEmissions: 2})
+	m.NodeResult("wifi", errors.New("boom"))
+	if ev := m.Advance(t0); len(ev) != 1 || ev[0].Up {
+		t.Fatalf("setup: want a down event, got %v", ev)
+	}
+	// One emission: not enough.
+	m.Tap("wifi", core.Sample{})
+	if ev := m.Advance(t0.Add(time.Second)); len(ev) != 0 {
+		t.Fatalf("recovered after 1 emission, want 2: %v", ev)
+	}
+	// Second emission, but the error streak is still standing — the
+	// consecutive counter must be cleared by a success first.
+	m.Tap("wifi", core.Sample{})
+	if ev := m.Advance(t0.Add(2 * time.Second)); len(ev) != 0 {
+		t.Fatalf("recovered with a standing error streak: %v", ev)
+	}
+	m.NodeResult("wifi", nil)
+	ev := m.Advance(t0.Add(3 * time.Second))
+	if len(ev) != 1 || !ev[0].Up || ev[0].Reason != "recovered" {
+		t.Fatalf("events = %+v, want one up(recovered)", ev)
+	}
+	if m.AnyDown() {
+		t.Error("AnyDown after recovery")
+	}
+}
+
+func TestGateQuarantinesWithProbes(t *testing.T) {
+	now := t0
+	m := NewMonitor(
+		Policy{MaxConsecutiveErrors: 1, ProbeInterval: time.Second},
+		WithClock(func() time.Time { return now }),
+	)
+	if !m.Allow("wifi") {
+		t.Fatal("healthy node gated off")
+	}
+	m.NodeResult("wifi", errors.New("boom"))
+	m.Advance(now)
+	if m.Allow("wifi") {
+		t.Fatal("quarantined node admitted before the probe interval")
+	}
+	now = now.Add(2 * time.Second)
+	if !m.Allow("wifi") {
+		t.Fatal("probe not admitted after the interval")
+	}
+	if m.Allow("wifi") {
+		t.Fatal("second probe admitted immediately — probes must be paced")
+	}
+}
+
+func TestSupervisorAppliesAndReversesReroute(t *testing.T) {
+	g := core.New()
+	for _, c := range []core.Component{
+		&core.SliceSource{CompID: "gps", Out: core.OutputSpec{Kind: "pos"}},
+		&core.SliceSource{CompID: "wifi", Out: core.OutputSpec{Kind: "pos"}},
+		&core.FuncComponent{
+			CompID: "fuse",
+			CompSpec: core.Spec{
+				Name: "fuse",
+				Inputs: []core.PortSpec{
+					{Name: "primary", Accepts: []core.Kind{"pos"}},
+					{Name: "secondary", Accepts: []core.Kind{"pos"}},
+				},
+				Output: core.OutputSpec{Kind: "pos"},
+			},
+			Fn: func(_ int, in core.Sample, emit core.Emit) error {
+				emit(in)
+				return nil
+			},
+		},
+		core.NewSink("app", []core.Kind{"pos"}),
+	} {
+		if _, err := g.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][3]any{{"gps", "fuse", 0}, {"wifi", "fuse", 1}, {"fuse", "app", 0}} {
+		if err := g.Connect(e[0].(string), e[1].(string), e[2].(int)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := NewMonitor(Policy{MaxConsecutiveErrors: 1})
+	var edits int
+	adapter := AdapterFunc(func(edit func(*core.Graph) error) error {
+		edits++
+		return edit(g)
+	})
+	sup := NewSupervisor(m, adapter, []Reroute{{
+		Watch: "wifi",
+		Break: core.Edge{From: "fuse", To: "app", Port: 0},
+		Make:  core.Edge{From: "gps", To: "app", Port: 0},
+	}})
+
+	var events []Event
+	sup.OnEvent(func(e Event) { events = append(events, e) })
+
+	hasEdge := func(from, to string) bool {
+		for _, e := range g.Edges() {
+			if e.From == from && e.To == to {
+				return true
+			}
+		}
+		return false
+	}
+
+	m.NodeResult("wifi", errors.New("boom"))
+	sup.Sweep(t0)
+	if !sup.Degraded() {
+		t.Fatal("not degraded after the breaker opened")
+	}
+	if hasEdge("fuse", "app") || !hasEdge("gps", "app") {
+		t.Fatalf("degraded edges wrong: %v", g.Edges())
+	}
+
+	m.NodeResult("wifi", nil)
+	m.Tap("wifi", core.Sample{})
+	sup.Sweep(t0.Add(time.Second))
+	if sup.Degraded() {
+		t.Fatal("still degraded after recovery")
+	}
+	if !hasEdge("fuse", "app") || hasEdge("gps", "app") {
+		t.Fatalf("restored edges wrong: %v", g.Edges())
+	}
+	if edits != 2 {
+		t.Errorf("edits = %d, want 2 (degrade + restore)", edits)
+	}
+	if len(events) != 2 || events[0].Up || !events[1].Up {
+		t.Errorf("events = %+v, want [down, up]", events)
+	}
+}
+
+func TestSupervisorReportsFailedReroute(t *testing.T) {
+	m := NewMonitor(Policy{MaxConsecutiveErrors: 1})
+	adapter := AdapterFunc(func(func(*core.Graph) error) error {
+		return errors.New("graph says no")
+	})
+	sup := NewSupervisor(m, adapter, []Reroute{{Watch: "wifi"}})
+	var events []Event
+	sup.OnEvent(func(e Event) { events = append(events, e) })
+	m.NodeResult("wifi", errors.New("boom"))
+	sup.Sweep(t0)
+	if len(events) != 1 || events[0].Reason != "reroute-failed" {
+		t.Fatalf("events = %+v, want one reroute-failed", events)
+	}
+	if sup.Degraded() {
+		t.Error("Degraded() true after a failed edit")
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	m := NewMonitor(Policy{})
+	m.NodeResult("b", nil)
+	m.NodeResult("a", nil)
+	snap := m.Snapshot()
+	if len(snap) != 2 || snap[0].Node != "a" || snap[1].Node != "b" {
+		t.Fatalf("snapshot = %+v, want sorted [a b]", snap)
+	}
+}

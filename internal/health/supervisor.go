@@ -1,0 +1,212 @@
+package health
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"perpos/internal/core"
+)
+
+// Adapter applies a structural edit to a pipeline's graph. The graph is
+// frozen while its async runner is active, so the owner (in practice
+// runtime.Session) must pause propagation, apply the edit, refresh the
+// positioning layer and resume — ApplyEdit encapsulates that dance.
+type Adapter interface {
+	ApplyEdit(edit func(*core.Graph) error) error
+}
+
+// AdapterFunc adapts a function to the Adapter interface.
+type AdapterFunc func(edit func(*core.Graph) error) error
+
+// ApplyEdit implements Adapter.
+func (f AdapterFunc) ApplyEdit(edit func(*core.Graph) error) error { return f(edit) }
+
+// Reroute is a degradation rule: when the watched node's breaker opens,
+// Break is disconnected and Make is connected — the PSL adaptation that
+// routes the pipeline around the failed branch. When the node recovers,
+// the edit is reversed, restoring the full graph.
+type Reroute struct {
+	// Watch is the node whose breaker drives this rule.
+	Watch string
+	// Break is the edge removed while degraded (typically the failed
+	// branch's hand-off into the fusion component, or the fusion
+	// component's own output edge).
+	Break core.Edge
+	// Make is the edge added while degraded (the surviving branch's
+	// bypass to the sink).
+	Make core.Edge
+}
+
+// Supervisor closes the loop from health monitoring to adaptation: a
+// sweep goroutine periodically advances the monitor's breakers, applies
+// the configured degradation reroutes through the Adapter, and notifies
+// listeners of every transition. Listener callbacks and reroute edits
+// run on the supervisor's own goroutine — never on engine goroutines —
+// so an edit can safely stop and restart the runner.
+type Supervisor struct {
+	mon      *Monitor
+	adapter  Adapter
+	reroutes []Reroute
+
+	mu        sync.Mutex
+	engaged   map[int]bool // reroute index → currently applied
+	listeners []func(Event)
+	cancel    context.CancelFunc
+	done      chan struct{}
+}
+
+// NewSupervisor wires a supervisor over the monitor. adapter may be nil
+// when no reroutes are configured. Every watched node named by a
+// reroute is pre-registered with the monitor.
+func NewSupervisor(mon *Monitor, adapter Adapter, reroutes []Reroute) *Supervisor {
+	s := &Supervisor{
+		mon:      mon,
+		adapter:  adapter,
+		reroutes: reroutes,
+		engaged:  make(map[int]bool, len(reroutes)),
+	}
+	for _, r := range reroutes {
+		mon.Watch(r.Watch)
+	}
+	return s
+}
+
+// Monitor returns the underlying monitor.
+func (s *Supervisor) Monitor() *Monitor { return s.mon }
+
+// OnEvent registers a listener for node transitions. Register before
+// Start; callbacks run serially on the supervisor goroutine (or the
+// Sweep caller).
+func (s *Supervisor) OnEvent(fn func(Event)) {
+	if fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.listeners = append(s.listeners, fn)
+	s.mu.Unlock()
+}
+
+// Start launches the sweep loop. Stop must be called to release it.
+func (s *Supervisor) Start(ctx context.Context) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	s.cancel = cancel
+	done := make(chan struct{})
+	s.done = done
+	period := s.mon.Policy().Sweep
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case now := <-ticker.C:
+				s.Sweep(now)
+			}
+		}
+	}()
+}
+
+// Stop halts the sweep loop and waits for it to exit.
+func (s *Supervisor) Stop() {
+	s.mu.Lock()
+	cancel, done := s.cancel, s.done
+	s.cancel, s.done = nil, nil
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+}
+
+// Sweep runs one supervision pass at the given time: advance breakers,
+// apply or reverse reroutes for any transitions, notify listeners.
+// Exposed so tests (and synchronous drivers) can supervise without the
+// background goroutine.
+func (s *Supervisor) Sweep(now time.Time) []Event {
+	events := s.mon.Advance(now)
+	for i := range events {
+		s.apply(&events[i])
+	}
+	if len(events) > 0 {
+		s.mu.Lock()
+		listeners := make([]func(Event), len(s.listeners))
+		copy(listeners, s.listeners)
+		s.mu.Unlock()
+		for _, e := range events {
+			for _, fn := range listeners {
+				fn(e)
+			}
+		}
+	}
+	return events
+}
+
+// apply engages or disengages the reroutes watching the transitioned
+// node. A failed edit downgrades the event's Reason so listeners see
+// that adaptation did not land.
+func (s *Supervisor) apply(e *Event) {
+	if s.adapter == nil {
+		return
+	}
+	for i, r := range s.reroutes {
+		if r.Watch != e.Node {
+			continue
+		}
+		s.mu.Lock()
+		engaged := s.engaged[i]
+		s.mu.Unlock()
+		switch {
+		case !e.Up && !engaged:
+			err := s.adapter.ApplyEdit(func(g *core.Graph) error {
+				if derr := g.Disconnect(r.Break.From, r.Break.To, r.Break.Port); derr != nil {
+					return derr
+				}
+				return g.Connect(r.Make.From, r.Make.To, r.Make.Port)
+			})
+			if err != nil {
+				e.Reason = "reroute-failed"
+				e.Err = fmt.Errorf("health: degrade %q: %w", e.Node, err)
+				continue
+			}
+			s.mu.Lock()
+			s.engaged[i] = true
+			s.mu.Unlock()
+		case e.Up && engaged:
+			err := s.adapter.ApplyEdit(func(g *core.Graph) error {
+				if derr := g.Disconnect(r.Make.From, r.Make.To, r.Make.Port); derr != nil {
+					return derr
+				}
+				return g.Connect(r.Break.From, r.Break.To, r.Break.Port)
+			})
+			if err != nil {
+				e.Reason = "restore-failed"
+				e.Err = fmt.Errorf("health: restore %q: %w", e.Node, err)
+				continue
+			}
+			s.mu.Lock()
+			s.engaged[i] = false
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Degraded reports whether any reroute is currently engaged.
+func (s *Supervisor) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, on := range s.engaged {
+		if on {
+			return true
+		}
+	}
+	return false
+}

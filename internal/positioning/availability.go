@@ -1,0 +1,79 @@
+package positioning
+
+// Availability is a JSR-179 provider state. A provider is Available
+// while its pipeline is healthy, TemporarilyUnavailable while the
+// supervisor has it degraded or a backing source is down, and
+// OutOfService once its session is released — the terminal state.
+type Availability int
+
+const (
+	// Available: the provider delivers positions normally.
+	Available Availability = iota
+	// TemporarilyUnavailable: the backing pipeline is degraded or a
+	// source is down; service is expected to resume.
+	TemporarilyUnavailable
+	// OutOfService: the provider's backing resources are gone and it
+	// will not recover. Criteria matching skips such providers.
+	OutOfService
+)
+
+// String renders the state in JSR-179 vocabulary.
+func (a Availability) String() string {
+	switch a {
+	case Available:
+		return "AVAILABLE"
+	case TemporarilyUnavailable:
+		return "TEMPORARILY_UNAVAILABLE"
+	case OutOfService:
+		return "OUT_OF_SERVICE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Availability returns the provider's current state.
+func (p *Provider) Availability() Availability {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.avail
+}
+
+// SetAvailability moves the provider to the given state, notifying
+// listeners only on change. OutOfService is terminal: later transitions
+// are ignored. Driven by supervisor events in a supervised session;
+// callbacks run on the caller's goroutine, outside the provider lock.
+func (p *Provider) SetAvailability(a Availability) {
+	p.mu.Lock()
+	if p.avail == a || p.avail == OutOfService {
+		p.mu.Unlock()
+		return
+	}
+	p.avail = a
+	subs := make([]func(Availability), 0, len(p.availSubs))
+	for _, fn := range p.availSubs {
+		subs = append(subs, fn)
+	}
+	p.mu.Unlock()
+	for _, fn := range subs {
+		fn(a)
+	}
+}
+
+// NotifyAvailability registers a listener for state changes — the
+// JSR-179 providerStateChanged notification. The returned cancel
+// removes the registration.
+func (p *Provider) NotifyAvailability(fn func(Availability)) (cancel func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.nextID
+	p.nextID++
+	if p.availSubs == nil {
+		p.availSubs = make(map[int]func(Availability))
+	}
+	p.availSubs[id] = fn
+	return func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		delete(p.availSubs, id)
+	}
+}

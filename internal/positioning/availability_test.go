@@ -1,0 +1,75 @@
+package positioning
+
+import "testing"
+
+func TestAvailabilityTransitionsAndNotification(t *testing.T) {
+	p := NewProvider("gps", ProviderInfo{Technology: "gps"}, nil)
+	if got := p.Availability(); got != Available {
+		t.Fatalf("initial availability = %v, want Available", got)
+	}
+	var seen []Availability
+	cancel := p.NotifyAvailability(func(a Availability) { seen = append(seen, a) })
+
+	p.SetAvailability(Available) // no change, no notification
+	p.SetAvailability(TemporarilyUnavailable)
+	p.SetAvailability(TemporarilyUnavailable) // duplicate suppressed
+	p.SetAvailability(Available)
+	want := []Availability{TemporarilyUnavailable, Available}
+	if len(seen) != len(want) {
+		t.Fatalf("notifications = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("notifications = %v, want %v", seen, want)
+		}
+	}
+
+	cancel()
+	p.SetAvailability(TemporarilyUnavailable)
+	if len(seen) != len(want) {
+		t.Error("notification fired after cancel")
+	}
+}
+
+func TestOutOfServiceIsTerminal(t *testing.T) {
+	p := NewProvider("gps", ProviderInfo{}, nil)
+	p.SetAvailability(OutOfService)
+	p.SetAvailability(Available)
+	if got := p.Availability(); got != OutOfService {
+		t.Fatalf("availability = %v, want OutOfService to be terminal", got)
+	}
+}
+
+func TestCriteriaSkipOutOfService(t *testing.T) {
+	m := &Manager{}
+	live := NewProvider("live", ProviderInfo{Technology: "gps", TypicalAccuracy: 10}, nil)
+	dead := NewProvider("dead", ProviderInfo{Technology: "gps", TypicalAccuracy: 1}, nil)
+	for _, p := range []*Provider{live, dead} {
+		if err := m.Register(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dead.SetAvailability(OutOfService)
+	// dead has the better accuracy but is out of service.
+	got, err := m.Provider(Criteria{Technology: "gps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != live {
+		t.Errorf("Provider() = %q, want the in-service %q", got.Name(), live.Name())
+	}
+}
+
+func TestAvailabilityStrings(t *testing.T) {
+	cases := map[Availability]string{
+		Available:              "AVAILABLE",
+		TemporarilyUnavailable: "TEMPORARILY_UNAVAILABLE",
+		OutOfService:           "OUT_OF_SERVICE",
+		Availability(42):       "UNKNOWN",
+	}
+	for a, want := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", a, got, want)
+		}
+	}
+}

@@ -114,6 +114,10 @@ func (m *Manager) Provider(c Criteria) (*Provider, error) {
 }
 
 func matches(p *Provider, c Criteria) bool {
+	if p.Availability() == OutOfService {
+		// JSR-179: an out-of-service provider never satisfies criteria.
+		return false
+	}
 	info := p.Info()
 	if c.Technology != "" && info.Technology != c.Technology {
 		return false

@@ -20,13 +20,15 @@ type Provider struct {
 	name string
 	info ProviderInfo
 
-	mu       sync.Mutex
-	last     Position
-	hasLast  bool
-	subs     map[int]func(Position)
-	proxSubs map[int]*proximityWatch
-	nextID   int
-	features FeatureLookup
+	mu        sync.Mutex
+	last      Position
+	hasLast   bool
+	subs      map[int]func(Position)
+	proxSubs  map[int]*proximityWatch
+	avail     Availability
+	availSubs map[int]func(Availability)
+	nextID    int
+	features  FeatureLookup
 }
 
 // ProviderInfo describes a provider for criteria matching.

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -11,40 +12,81 @@ import (
 
 // Uplink is a Processing Component that forwards every sample arriving
 // at its input port to a remote Downlink over TCP — the device side of
-// the Fig. 7 split. It dials lazily on first use and redials (with a
-// short backoff) after connection failures; samples that cannot be sent
+// the Fig. 7 split. It dials lazily on first use and redials after
+// connection failures with capped exponential backoff plus jitter:
+// consecutive dial failures double the wait between attempts (so an
+// unreachable peer costs one cheap gate check per sample, not a dial
+// timeout), and the jitter keeps a fleet of devices from thundering
+// back in lockstep when the peer returns. Samples that cannot be sent
 // are counted and dropped, since positioning data is perishable.
 type Uplink struct {
-	id      string
-	addr    string
-	accepts []core.Kind
-	codecs  Codecs
+	id          string
+	addr        string
+	accepts     []core.Kind
+	codecs      Codecs
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+	jitterFrac  float64
 
-	mu      sync.Mutex
-	conn    net.Conn
-	lastTry time.Time
-	backoff time.Duration
-	sent    int
-	dropped int
+	mu       sync.Mutex
+	conn     net.Conn
+	lastTry  time.Time
+	backoff  time.Duration // current wait before the next dial attempt
+	dialErrs int           // consecutive dial failures
+	rng      *rand.Rand
+	sent     int
+	dropped  int
 }
 
 var _ core.Component = (*Uplink)(nil)
 
+// UplinkOption configures an Uplink.
+type UplinkOption func(*Uplink)
+
+// WithUplinkBackoff sets the redial backoff bounds (defaults 200ms
+// base, 5s cap).
+func WithUplinkBackoff(base, max time.Duration) UplinkOption {
+	return func(u *Uplink) {
+		if base > 0 {
+			u.baseBackoff = base
+		}
+		if max > 0 {
+			u.maxBackoff = max
+		}
+	}
+}
+
+// WithUplinkJitterSeed seeds the backoff jitter PRNG (deterministic
+// tests).
+func WithUplinkJitterSeed(seed int64) UplinkOption {
+	return func(u *Uplink) { u.rng = rand.New(rand.NewSource(seed)) }
+}
+
 // NewUplink returns an uplink forwarding the given kinds to addr.
-func NewUplink(id, addr string, accepts []core.Kind, codecs Codecs) *Uplink {
+func NewUplink(id, addr string, accepts []core.Kind, codecs Codecs, opts ...UplinkOption) *Uplink {
 	if len(accepts) == 0 {
 		accepts = []core.Kind{core.KindAny}
 	}
 	if codecs == nil {
 		codecs = DefaultCodecs()
 	}
-	return &Uplink{
-		id:      id,
-		addr:    addr,
-		accepts: accepts,
-		codecs:  codecs,
-		backoff: 200 * time.Millisecond,
+	u := &Uplink{
+		id:          id,
+		addr:        addr,
+		accepts:     accepts,
+		codecs:      codecs,
+		baseBackoff: 200 * time.Millisecond,
+		maxBackoff:  5 * time.Second,
+		jitterFrac:  0.2,
 	}
+	for _, opt := range opts {
+		opt(u)
+	}
+	if u.rng == nil {
+		u.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	u.backoff = u.baseBackoff
+	return u
 }
 
 // ID implements core.Component.
@@ -69,8 +111,10 @@ func (u *Uplink) Process(_ int, in core.Sample, _ core.Emit) error {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	if err := u.sendLocked(body); err != nil {
-		// One retry after redial, then drop: position data is
-		// perishable and must not wedge the pipeline.
+		// One immediate retry covers a connection that went stale
+		// between samples; beyond that the backoff gate decides when the
+		// next dial happens, and the sample is dropped — position data
+		// is perishable and must not wedge the pipeline.
 		if err := u.sendLocked(body); err != nil {
 			u.dropped++
 			return nil
@@ -88,9 +132,13 @@ func (u *Uplink) sendLocked(body []byte) error {
 		u.lastTry = time.Now()
 		conn, err := net.DialTimeout("tcp", u.addr, 2*time.Second)
 		if err != nil {
+			u.dialErrs++
+			u.backoff = u.nextBackoffLocked()
 			return fmt.Errorf("dial %s: %w", u.addr, err)
 		}
 		u.conn = conn
+		u.dialErrs = 0
+		u.backoff = u.baseBackoff
 	}
 	if err := writeFrame(u.conn, body); err != nil {
 		_ = u.conn.Close()
@@ -98,6 +146,34 @@ func (u *Uplink) sendLocked(body []byte) error {
 		return err
 	}
 	return nil
+}
+
+// nextBackoffLocked computes the wait before the next dial: the base
+// doubled per consecutive failure, capped, then jittered ±jitterFrac.
+func (u *Uplink) nextBackoffLocked() time.Duration {
+	d := float64(u.baseBackoff)
+	for i := 1; i < u.dialErrs; i++ {
+		d *= 2
+		if d >= float64(u.maxBackoff) {
+			d = float64(u.maxBackoff)
+			break
+		}
+	}
+	if u.jitterFrac > 0 {
+		d *= 1 - u.jitterFrac + 2*u.jitterFrac*u.rng.Float64()
+	}
+	if d > float64(u.maxBackoff) {
+		d = float64(u.maxBackoff)
+	}
+	return time.Duration(d)
+}
+
+// Backoff returns the current redial backoff — how long the uplink
+// waits after the last failed dial before trying again.
+func (u *Uplink) Backoff() time.Duration {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.backoff
 }
 
 // Stats returns (sent, dropped) counts.

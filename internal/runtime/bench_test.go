@@ -1,13 +1,23 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"perpos/internal/building"
+	"perpos/internal/catalog"
+	"perpos/internal/chaos"
+	"perpos/internal/core"
+	"perpos/internal/filter"
+	"perpos/internal/gps"
+	"perpos/internal/health"
 	"perpos/internal/positioning"
+	"perpos/internal/trace"
+	"perpos/internal/wifi"
 )
 
 // BenchmarkRuntimeSessions measures multi-tenant session throughput:
@@ -25,17 +35,34 @@ import (
 func BenchmarkRuntimeSessions(b *testing.B) {
 	for _, n := range []int{1, 10, 100, 1000} {
 		b.Run(fmt.Sprintf("sessions_%d", n), func(b *testing.B) {
-			benchSessions(b, n)
+			benchSessions(b, n, gpsSessionConfig(b))
 		})
 	}
 }
 
-func benchSessions(b *testing.B, n int) {
+// BenchmarkRuntimeSessionsSupervised is the same workload with
+// per-session health supervision enabled: the graph tap feeding the
+// monitor is on every delivery path, so the delta against
+// BenchmarkRuntimeSessions is the health-tracking overhead (budget:
+// ≤5%).
+func BenchmarkRuntimeSessionsSupervised(b *testing.B) {
+	for _, n := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("sessions_%d", n), func(b *testing.B) {
+			cfg := gpsSessionConfig(b)
+			cfg.Health = &health.Policy{
+				MaxConsecutiveErrors: 3,
+				Deadlines:            map[string]time.Duration{"gps": time.Second},
+			}
+			benchSessions(b, n, cfg)
+		})
+	}
+}
+
+func benchSessions(b *testing.B, n int, cfg SessionConfig) {
 	const (
 		pace   = 20 * time.Millisecond
 		window = 300 * time.Millisecond
 	)
-	cfg := gpsSessionConfig(b)
 	var delivered atomic.Int64
 
 	for iter := 0; iter < b.N; iter++ {
@@ -80,4 +107,76 @@ func benchSessions(b *testing.B, n int) {
 	perWindow := float64(delivered.Load()) / float64(b.N)
 	b.ReportMetric(perWindow/window.Seconds(), "samples/s")
 	b.ReportMetric(perWindow/float64(n), "samples/session")
+}
+
+// BenchmarkDegradedFusionSession measures steady-state degraded-mode
+// throughput: a supervised fusion session whose WiFi branch is down
+// (breaker open, app rerouted to the GPS branch, runner retrying the
+// dead source with backoff) delivering positions over a fixed window.
+func BenchmarkDegradedFusionSession(b *testing.B) {
+	const window = 300 * time.Millisecond
+	bld := building.Evaluation()
+	n := wifi.DefaultDeployment(bld)
+	db := wifi.Survey(n, 0, wifi.SurveyConfig{Seed: 1, GridStep: 4})
+	bp, err := catalog.FusionBlueprint(catalog.Deps{Building: bld, Database: db},
+		filter.Config{Particles: 100, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.CorridorWalk(bld, 11, 60, time.Second)
+
+	var delivered atomic.Int64
+	for iter := 0; iter < b.N; iter++ {
+		var wifiChaos *chaos.Source
+		m, err := NewManager(SessionConfig{
+			Blueprint: bp,
+			Overrides: func(string) []core.InstantiateOption {
+				return []core.InstantiateOption{
+					core.WithComponentOverride("gps", func(id string) core.Component {
+						return gps.NewReceiver(id, tr, gps.Config{Seed: 21, ColdStart: 0})
+					}),
+					core.WithComponentOverride("wifi", func(id string) core.Component {
+						wifiChaos = chaos.WrapSource(wifi.NewSensor(id, n, tr, time.Second, 31))
+						return wifiChaos
+					}),
+				}
+			},
+			Provider: positioning.ProviderInfo{Technology: "fusion"},
+			History:  16,
+			Health: &health.Policy{
+				MaxConsecutiveErrors: 2,
+				ProbeInterval:        10 * time.Millisecond,
+				Sweep:                5 * time.Millisecond,
+				Restart:              core.RestartPolicy{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+			},
+			Reroutes: catalog.FusionDegradation(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := m.GetOrCreate("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Provider().Subscribe(func(positioning.Position) { delivered.Add(1) })
+		wifiChaos.Kill(nil)
+		ctx, cancel := context.WithCancel(context.Background())
+		if err := s.Start(ctx, core.WithSourceInterval(time.Millisecond)); err != nil {
+			b.Fatal(err)
+		}
+		deadline := time.Now().Add(window)
+		for time.Now().Before(deadline) {
+			if s.Supervisor().Degraded() {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		start := delivered.Load()
+		time.Sleep(window)
+		got := delivered.Load() - start
+		_ = s.Stop() // the injected outage leaves expected errors behind
+		cancel()
+		m.Close()
+		b.ReportMetric(float64(got)/window.Seconds(), "samples/s")
+	}
 }

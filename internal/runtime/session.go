@@ -17,6 +17,7 @@ import (
 
 	"perpos/internal/channel"
 	"perpos/internal/core"
+	"perpos/internal/health"
 	"perpos/internal/positioning"
 )
 
@@ -54,6 +55,16 @@ type SessionConfig struct {
 	// InboxCapacity configures the async runner started by
 	// Session.Start (0 keeps the runner default of 1).
 	InboxCapacity int
+	// Health enables per-session supervision: a health.Monitor observes
+	// the session's runner and graph taps, and a health.Supervisor
+	// sweeps its breakers, restarts failed sources with backoff, and
+	// drives the provider's JSR-179 availability state. Nil disables
+	// supervision (no overhead).
+	Health *health.Policy
+	// Reroutes are the degradation rules the supervisor applies through
+	// the session's own PSL graph when a watched node trips its breaker
+	// (requires Health).
+	Reroutes []health.Reroute
 }
 
 // Session is one target's live pipeline: a private graph instantiated
@@ -67,6 +78,16 @@ type Session struct {
 	sinkID   string
 	inboxCap int
 	clock    func() time.Time
+
+	monitor    *health.Monitor
+	supervisor *health.Supervisor
+	tapCancel  func()
+
+	// runMu serialises propagation (Run/Step/async runner lifecycle)
+	// against supervisor-applied graph edits. Lock order: runMu → mu.
+	runMu      sync.Mutex
+	runCtx     context.Context
+	runnerOpts []core.RunnerOption
 
 	mu       sync.Mutex
 	runner   *core.Runner
@@ -108,6 +129,22 @@ func newSession(id string, cfg SessionConfig, clock func() time.Time) (*Session,
 	s.graph = g
 	s.layer = channel.NewLayer(g, layerOpts...)
 	s.lastUsed = clock()
+
+	if cfg.Health != nil {
+		s.monitor = health.NewMonitor(*cfg.Health)
+		s.supervisor = health.NewSupervisor(s.monitor, health.AdapterFunc(s.applyEdit), cfg.Reroutes)
+		s.tapCancel = g.Tap(s.monitor.Tap)
+		// Supervisor events drive the provider's JSR-179 state: any open
+		// breaker makes the provider temporarily unavailable; all clear
+		// makes it available again. Runs on the supervisor goroutine.
+		s.supervisor.OnEvent(func(health.Event) {
+			if s.monitor.AnyDown() {
+				s.provider.SetAvailability(positioning.TemporarilyUnavailable)
+			} else {
+				s.provider.SetAvailability(positioning.Available)
+			}
+		})
+	}
 	return s, nil
 }
 
@@ -145,6 +182,8 @@ func (s *Session) feature(name string) (any, bool) {
 // Channel Features survive the edit. Fails with core.ErrRunning while
 // the session's async runner is active.
 func (s *Session) Adapt(fn func(g *core.Graph, l *channel.Layer) error) error {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -158,9 +197,61 @@ func (s *Session) Adapt(fn func(g *core.Graph, l *channel.Layer) error) error {
 	return nil
 }
 
+// Monitor returns the session's health monitor (nil when supervision
+// is disabled).
+func (s *Session) Monitor() *health.Monitor { return s.monitor }
+
+// Supervisor returns the session's supervisor (nil when supervision is
+// disabled).
+func (s *Session) Supervisor() *health.Supervisor { return s.supervisor }
+
+// applyEdit is the supervisor's Adapter: the graph is frozen while the
+// async runner is active, so the runner is paused, the edit applied,
+// the channel layer refreshed, and a fresh runner started. Runs on the
+// supervisor goroutine, never on engine goroutines.
+func (s *Session) applyEdit(edit func(*core.Graph) error) error {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	r := s.runner
+	ctx, opts := s.runCtx, s.runnerOpts
+	s.mu.Unlock()
+	if r != nil {
+		// Drained run errors were already reported to the observer; a
+		// pause for adaptation is not a failure of the edit.
+		_ = r.Stop()
+	}
+	err := edit(s.graph)
+	s.layer.Refresh()
+	if r != nil {
+		s.mu.Lock()
+		if s.closed || s.runner != r {
+			// Closed or stopped while paused: don't resurrect the runner.
+			s.mu.Unlock()
+			return err
+		}
+		nr := core.NewRunner(s.graph, opts...)
+		if serr := nr.Start(ctx); serr != nil {
+			s.runner = nil
+			s.mu.Unlock()
+			return errors.Join(err, serr)
+		}
+		s.runner = nr
+		s.mu.Unlock()
+	}
+	return err
+}
+
 // Run drives the session synchronously until its sources are exhausted
-// (or maxTicks), returning the number of source steps taken.
+// (or maxTicks), returning the number of source steps taken. Propagation
+// holds the run lock, so supervisor edits never interleave a tick.
 func (s *Session) Run(maxTicks int) (int, error) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -173,6 +264,8 @@ func (s *Session) Run(maxTicks int) (int, error) {
 
 // Step advances every source in the session by one sample.
 func (s *Session) Step() (bool, error) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -186,6 +279,8 @@ func (s *Session) Step() (bool, error) {
 // Start launches the session's async runner (one goroutine per
 // component, bounded inboxes sized by SessionConfig.InboxCapacity).
 func (s *Session) Start(ctx context.Context, opts ...core.RunnerOption) error {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -197,12 +292,22 @@ func (s *Session) Start(ctx context.Context, opts ...core.RunnerOption) error {
 	if s.inboxCap > 0 {
 		opts = append([]core.RunnerOption{core.WithInboxCapacity(s.inboxCap)}, opts...)
 	}
+	if s.monitor != nil {
+		opts = append(opts,
+			core.WithRunnerObserver(s.monitor),
+			core.WithSourceRestart(s.monitor.Policy().Restart))
+	}
 	r := core.NewRunner(s.graph, opts...)
 	if err := r.Start(ctx); err != nil {
 		return err
 	}
 	s.runner = r
+	s.runCtx = ctx
+	s.runnerOpts = opts
 	s.lastUsed = s.clock()
+	if s.supervisor != nil {
+		s.supervisor.Start(ctx)
+	}
 	return nil
 }
 
@@ -217,8 +322,11 @@ func (s *Session) WaitSources() {
 	}
 }
 
-// Stop halts the session's async runner.
+// Stop halts the session's supervisor and async runner.
 func (s *Session) Stop() error {
+	if s.supervisor != nil {
+		s.supervisor.Stop()
+	}
 	s.mu.Lock()
 	r := s.runner
 	s.runner = nil
@@ -244,9 +352,15 @@ func (s *Session) touch() {
 	s.mu.Unlock()
 }
 
-// close tears the session down: the runner is stopped and the channel
-// layer detached. Idempotent.
+// close tears the session down: the supervisor and runner are stopped,
+// the channel layer detached, and the provider retired to OutOfService.
+// Idempotent.
 func (s *Session) close() {
+	// Stop the supervisor before taking locks: its sweep goroutine may
+	// be inside applyEdit, which needs both session locks to finish.
+	if s.supervisor != nil {
+		s.supervisor.Stop()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -259,5 +373,9 @@ func (s *Session) close() {
 	if r != nil {
 		_ = r.Stop()
 	}
+	if s.tapCancel != nil {
+		s.tapCancel()
+	}
 	s.layer.Close()
+	s.provider.SetAvailability(positioning.OutOfService)
 }
