@@ -13,6 +13,12 @@
 //	                                # session each from a shared blueprint
 //	perpos-run -chaos               # supervised fusion session surviving an
 //	                                # injected WiFi outage (self-healing demo)
+//	perpos-run -chaos -chaos-script examples/configs/chaos-fusion.json
+//	                                # same demo driven by a declarative
+//	                                # fault script from the pipeline config
+//	perpos-run -chaos -checkpoint-dir /tmp/perpos-ckpt
+//	                                # checkpoint the session durably, then
+//	                                # evict and resume it from disk
 //
 // Configurations (see internal/config) may reference two pre-built
 // instances: "gps" (a receiver on a commute trace) and "app" (a
@@ -33,6 +39,7 @@ import (
 	"perpos/internal/building"
 	"perpos/internal/catalog"
 	"perpos/internal/chaos"
+	"perpos/internal/checkpoint"
 	"perpos/internal/config"
 	"perpos/internal/core"
 	"perpos/internal/eval"
@@ -60,6 +67,8 @@ func run(args []string) error {
 	maxLines := fs.Int("max", 50, "maximum positions to print (0 = all)")
 	targets := fs.Int("targets", 0, "track N concurrent targets through per-target sessions (multi-tenant mode)")
 	chaosDemo := fs.Bool("chaos", false, "run a supervised fusion session through an injected WiFi outage")
+	chaosScript := fs.String("chaos-script", "", "pipeline JSON whose chaos block drives the -chaos fault script (default: built-in kill/heal)")
+	checkpointDir := fs.String("checkpoint-dir", "", "directory for durable session checkpoints; with -chaos the session is evicted and resumed from it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,7 +80,7 @@ func run(args []string) error {
 		return runTargets(*targets, *seed)
 	}
 	if *chaosDemo {
-		return runChaos(*seed)
+		return runChaos(*seed, *checkpointDir, *chaosScript)
 	}
 
 	switch *pipeline {
@@ -252,8 +261,33 @@ func runTargets(n int, seed int64) error {
 // runChaos is the self-healing demo: a supervised fusion session whose
 // WiFi sensor is chaos-killed mid-run. The session's supervisor trips
 // the breaker, degrades the pipeline to the GPS branch (positions keep
-// flowing), and restores full fusion when the sensor comes back.
-func runChaos(seed int64) error {
+// flowing), and restores full fusion when the sensor comes back. The
+// fault script comes from a pipeline definition's chaos block when
+// scriptPath is set; with ckptDir the session also checkpoints durably
+// and is evicted and resumed from disk at the end — the crash-recovery
+// path exercised interactively.
+func runChaos(seed int64, ckptDir, scriptPath string) error {
+	script := chaos.Schedule{Steps: []chaos.Step{
+		{At: 0, Action: chaos.ActionKill, Target: "wifi"},
+		{At: 400 * time.Millisecond, Action: chaos.ActionHeal, Target: "wifi"},
+	}}
+	if scriptPath != "" {
+		f, err := os.Open(scriptPath)
+		if err != nil {
+			return err
+		}
+		p, err := config.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if p.Chaos == nil {
+			return fmt.Errorf("%s has no chaos block", scriptPath)
+		}
+		script = p.Chaos.Schedule()
+		fmt.Printf("fault script %q: %d steps\n", p.Name, len(script.Steps))
+	}
+
 	b := building.Evaluation()
 	network := wifi.DefaultDeployment(b)
 	db := wifi.Survey(network, 0, wifi.SurveyConfig{Seed: seed + 1, GridStep: 4})
@@ -263,7 +297,16 @@ func runChaos(seed int64) error {
 	if err != nil {
 		return err
 	}
-	tr := trace.CorridorWalk(b, seed, 60, time.Second)
+	tr := trace.CorridorWalk(b, seed, 600, time.Second)
+
+	var store *checkpoint.Store
+	if ckptDir != "" {
+		store, err = checkpoint.Open(ckptDir, checkpoint.Options{})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+	}
 
 	var wifiChaos *chaos.Source
 	m, err := runtime.NewManager(runtime.SessionConfig{
@@ -288,7 +331,9 @@ func runChaos(seed int64) error {
 			Sweep:                5 * time.Millisecond,
 			Restart:              core.RestartPolicy{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond},
 		},
-		Reroutes: catalog.FusionDegradation(),
+		Reroutes:        catalog.FusionDegradation(),
+		Checkpoints:     store,
+		CheckpointEvery: 50 * time.Millisecond,
 	})
 	if err != nil {
 		return err
@@ -325,9 +370,9 @@ func runChaos(seed int64) error {
 	if err := wait("fused positions", func() bool { return delivered.Load() >= 5 }); err != nil {
 		return err
 	}
-	fmt.Printf("fusion delivering (%d positions); injecting WiFi outage\n", delivered.Load())
+	fmt.Printf("fusion delivering (%d positions); starting fault script\n", delivered.Load())
 
-	wifiChaos.Kill(nil)
+	scriptDone := script.Start(ctx, map[string]chaos.Controllable{"wifi": wifiChaos})
 	if err := wait("degradation", func() bool {
 		return provider.Availability() == positioning.TemporarilyUnavailable && s.Supervisor().Degraded()
 	}); err != nil {
@@ -342,17 +387,48 @@ func runChaos(seed int64) error {
 	fmt.Printf("degraded to GPS branch; %d positions delivered during the outage\n",
 		delivered.Load()-atOutage)
 
-	wifiChaos.Heal()
 	if err := wait("recovery", func() bool {
 		return provider.Availability() == positioning.Available && !s.Supervisor().Degraded()
 	}); err != nil {
 		return err
+	}
+	if err := <-scriptDone; err != nil {
+		return fmt.Errorf("fault script: %w", err)
 	}
 	_ = s.Stop() // the injected outage leaves expected errors behind
 	for _, h := range s.Monitor().Snapshot() {
 		fmt.Printf("node %-18s errors=%d restarts=%d trips=%d\n", h.Node, h.Errors, h.Restarts, h.Trips)
 	}
 	fmt.Printf("survived injected outage: %d positions total, fusion restored\n", delivered.Load())
+
+	if store != nil {
+		// Crash-recovery epilogue: evict (final checkpoint to disk), then
+		// rebuild the session from the blueprint and its stored state.
+		m.Evict("demo")
+		s2, err := m.ResumeSession("demo")
+		if err != nil {
+			return fmt.Errorf("resume from checkpoint: %w", err)
+		}
+		pf, ok := s2.Graph().Node("particle-filter")
+		if !ok {
+			return errors.New("resumed session lost its particle filter")
+		}
+		fmt.Printf("evicted and resumed from %s: particle-filter logical clock %d, provider %s\n",
+			ckptDir, pf.Clock(), s2.Provider().Availability())
+
+		var resumed atomic.Int64
+		s2.Provider().Subscribe(func(positioning.Position) { resumed.Add(1) })
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		defer cancel2()
+		if err := s2.Start(ctx2, core.WithSourceInterval(5*time.Millisecond)); err != nil {
+			return err
+		}
+		if err := wait("positions from the resumed session", func() bool { return resumed.Load() >= 5 }); err != nil {
+			return err
+		}
+		_ = s2.Stop()
+		fmt.Printf("resumed session delivered %d positions from checkpointed state\n", resumed.Load())
+	}
 	return nil
 }
 

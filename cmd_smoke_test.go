@@ -120,7 +120,7 @@ func TestBinariesSmoke(t *testing.T) {
 	t.Run("perpos-run-chaos", func(t *testing.T) {
 		out := runBin(t, bins["perpos-run"], "-chaos", "-seed", "7")
 		for _, want := range []string{
-			"injecting WiFi outage",
+			"starting fault script",
 			"provider -> TEMPORARILY_UNAVAILABLE",
 			"degraded to GPS branch",
 			"provider -> AVAILABLE",
@@ -128,6 +128,34 @@ func TestBinariesSmoke(t *testing.T) {
 		} {
 			if !strings.Contains(out, want) {
 				t.Errorf("chaos demo output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("perpos-run-chaos-script", func(t *testing.T) {
+		out := runBin(t, bins["perpos-run"], "-chaos", "-seed", "7",
+			"-chaos-script", "examples/configs/chaos-fusion.json")
+		for _, want := range []string{
+			`fault script "chaos-fusion": 2 steps`,
+			"degraded to GPS branch",
+			"survived injected outage",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("scripted chaos output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("perpos-run-checkpoint-resume", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "ckpt")
+		out := runBin(t, bins["perpos-run"], "-chaos", "-seed", "7", "-checkpoint-dir", dir)
+		for _, want := range []string{
+			"survived injected outage",
+			"evicted and resumed from " + dir,
+			"resumed session delivered",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("checkpoint demo output missing %q:\n%s", want, out)
 			}
 		}
 	})

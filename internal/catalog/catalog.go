@@ -194,17 +194,25 @@ func FusionBlueprint(deps Deps, fcfg filter.Config) (*core.Blueprint, error) {
 // is routed straight to the application sink — the paper's PSL
 // connect/delete adaptation, driven by the supervisor instead of a
 // developer. Recovery reverses the edit, restoring full fusion.
+//
+// Both rules break the same fused output edge, so they form one
+// supervisor conflict group. Priorities make the multi-failure order
+// explicit: with both branches down, the GPS bypass (dead-reckoned
+// interpreter output) is preferred over the Wi-Fi fingerprint bypass,
+// since the interpreter keeps extrapolating through short outages.
 func FusionDegradation() []health.Reroute {
 	return []health.Reroute{
 		{
-			Watch: "wifi",
-			Break: core.Edge{From: "particle-filter", To: "app", Port: 0},
-			Make:  core.Edge{From: "interpreter", To: "app", Port: 0},
+			Watch:    "wifi",
+			Break:    core.Edge{From: "particle-filter", To: "app", Port: 0},
+			Make:     core.Edge{From: "interpreter", To: "app", Port: 0},
+			Priority: 0,
 		},
 		{
-			Watch: "gps",
-			Break: core.Edge{From: "particle-filter", To: "app", Port: 0},
-			Make:  core.Edge{From: "wifi-positioning", To: "app", Port: 0},
+			Watch:    "gps",
+			Break:    core.Edge{From: "particle-filter", To: "app", Port: 0},
+			Make:     core.Edge{From: "wifi-positioning", To: "app", Port: 0},
+			Priority: 1,
 		},
 	}
 }

@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Controllable is the control surface a fault schedule drives — the
+// manual kill/heal switch both wrapper kinds (Component, Source)
+// expose.
+type Controllable interface {
+	Kill(err error)
+	Heal()
+}
+
+var (
+	_ Controllable = (*Component)(nil)
+	_ Controllable = (*Source)(nil)
+)
+
+// Action is a scripted fault transition.
+type Action string
+
+// Schedule actions.
+const (
+	// ActionKill puts the target into the injected-outage state.
+	ActionKill Action = "kill"
+	// ActionHeal brings the target back up.
+	ActionHeal Action = "heal"
+)
+
+// Step is one timed transition in a fault script.
+type Step struct {
+	// At is the offset from schedule start.
+	At time.Duration
+	// Action is what happens at the offset.
+	Action Action
+	// Target names the wrapper the action applies to.
+	Target string
+}
+
+// Schedule is a declarative fault script: an ordered list of timed
+// kill/heal transitions against named injector wrappers. Soak tests and
+// perpos-run's -chaos mode read schedules from config
+// (config.ChaosDef) so failure scenarios live next to the pipeline
+// definitions they exercise, and replay identically run-to-run.
+type Schedule struct {
+	Steps []Step
+}
+
+// Validate checks the script against the available target names.
+func (s Schedule) Validate(targets map[string]Controllable) error {
+	for i, st := range s.Steps {
+		if st.Action != ActionKill && st.Action != ActionHeal {
+			return fmt.Errorf("chaos: step %d: unknown action %q", i, st.Action)
+		}
+		if st.At < 0 {
+			return fmt.Errorf("chaos: step %d: negative offset %v", i, st.At)
+		}
+		if _, ok := targets[st.Target]; !ok {
+			return fmt.Errorf("chaos: step %d: unknown target %q", i, st.Target)
+		}
+	}
+	return nil
+}
+
+// Run executes the script against the named targets, sleeping out the
+// offsets; it returns when the script completes or ctx is cancelled.
+// Steps are applied in offset order regardless of declaration order.
+// Run validates first, so a bad script fails before any fault fires.
+func (s Schedule) Run(ctx context.Context, targets map[string]Controllable) error {
+	if err := s.Validate(targets); err != nil {
+		return err
+	}
+	steps := make([]Step, len(s.Steps))
+	copy(steps, s.Steps)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for _, st := range steps {
+		wait := st.At - time.Since(start)
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-timer.C:
+			}
+		} else if err := ctx.Err(); err != nil {
+			return err
+		}
+		target := targets[st.Target]
+		switch st.Action {
+		case ActionKill:
+			target.Kill(nil)
+		case ActionHeal:
+			target.Heal()
+		}
+	}
+	return nil
+}
+
+// Start runs the script on its own goroutine, returning a done channel
+// that carries Run's result.
+func (s Schedule) Start(ctx context.Context, targets map[string]Controllable) <-chan error {
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, targets) }()
+	return done
+}

@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"fmt"
+
+	"perpos/internal/core"
+)
+
+// The wrappers are transparent to checkpointing: state operations pass
+// through to the inner component. A stateless inner yields no state
+// (nil, nil) rather than an error, so wrapping a component never breaks
+// a graph snapshot — the wrapper itself has no state worth persisting
+// (an injected outage is a property of the test scenario, not of the
+// session).
+
+var (
+	_ core.StateAccess = (*Component)(nil)
+	_ core.StateAccess = (*Source)(nil)
+)
+
+// MarshalState implements core.StateAccess by delegating to the inner
+// component.
+func (c *Component) MarshalState() ([]byte, error) {
+	if sa, ok := c.inner.(core.StateAccess); ok {
+		return sa.MarshalState()
+	}
+	return nil, nil
+}
+
+// UnmarshalState implements core.StateAccess.
+func (c *Component) UnmarshalState(data []byte) error {
+	if sa, ok := c.inner.(core.StateAccess); ok {
+		return sa.UnmarshalState(data)
+	}
+	return fmt.Errorf("%w: chaos wrapper around stateless %q", core.ErrNotStateful, c.ID())
+}
+
+// MarshalState implements core.StateAccess by delegating to the inner
+// producer.
+func (s *Source) MarshalState() ([]byte, error) {
+	if sa, ok := s.inner.(core.StateAccess); ok {
+		return sa.MarshalState()
+	}
+	return nil, nil
+}
+
+// UnmarshalState implements core.StateAccess.
+func (s *Source) UnmarshalState(data []byte) error {
+	if sa, ok := s.inner.(core.StateAccess); ok {
+		return sa.UnmarshalState(data)
+	}
+	return fmt.Errorf("%w: chaos wrapper around stateless %q", core.ErrNotStateful, s.ID())
+}

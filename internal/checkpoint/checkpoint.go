@@ -1,0 +1,281 @@
+// Package checkpoint is the durability subsystem: an append-only,
+// CRC-framed journal of session-state records plus periodically
+// compacted snapshots, so a tracked target's positioning process — its
+// filter estimates, replay positions and logical clocks — survives
+// eviction and process death. The design follows the classic
+// checkpoint-and-replay recipe (re-execution from durable intermediate
+// state, à la MapReduce's recovery story) applied at the granularity of
+// one session's Process Structure Layer state.
+//
+// Layout: each session owns two files under the store directory,
+// <escaped-id>.journal (appended frames, newest last) and
+// <escaped-id>.snap (a single frame, rewritten atomically on
+// compaction). A frame is
+//
+//	magic(2) | length(4, LE) | crc32(4, LE, IEEE of payload) | payload
+//
+// with a JSON-encoded Record payload. Recovery scans the journal until
+// the first bad frame — a torn write at the tail after a crash is
+// expected, not fatal — and falls back to the snapshot file when the
+// journal yields nothing. The newest sequence number wins.
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"perpos/internal/core"
+)
+
+// Errors returned by the store.
+var (
+	// ErrClosed indicates use after Close.
+	ErrClosed = errors.New("checkpoint: store closed")
+	// ErrNoState indicates Load found no usable state for the session.
+	ErrNoState = errors.New("checkpoint: no state for session")
+)
+
+// SessionState is one durable checkpoint of a session: everything
+// ResumeSession needs to rebuild the target's pipeline where it left
+// off. Graph structure is NOT recorded — the Blueprint owns that; the
+// state rides on top of a structurally identical fresh instance.
+type SessionState struct {
+	// SessionID is the tracked target the state belongs to.
+	SessionID string `json:"session_id"`
+	// Seq is the store-assigned checkpoint sequence number, strictly
+	// increasing per session. The newest surviving record wins recovery.
+	Seq uint64 `json:"seq"`
+	// Taken is the wall-clock time the checkpoint was captured.
+	Taken time.Time `json:"taken"`
+	// Graph carries the logical clocks, span bookkeeping and component
+	// state of every node (core.Graph.SnapshotState).
+	Graph core.GraphState `json:"graph"`
+	// Availability is the provider's JSR-179 state at capture time
+	// (positioning.Availability's integer value).
+	Availability int `json:"availability"`
+}
+
+// Options configure a Store.
+type Options struct {
+	// SnapshotEvery compacts a session's journal into its snapshot file
+	// after this many appends (default 8; 1 compacts on every append).
+	SnapshotEvery int
+	// Fsync forces an fsync after every append and snapshot. Off by
+	// default: the journal already survives process crashes (the torn
+	// tail is skipped); Fsync additionally covers OS crashes at a heavy
+	// per-checkpoint cost.
+	Fsync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 8
+	}
+	return o
+}
+
+// Store manages the checkpoint files of many sessions under one
+// directory. All methods are safe for concurrent use; per-session
+// operations serialize on the session's journal, so different sessions
+// checkpoint in parallel.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	closed   bool
+	sessions map[string]*journal
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: open %s: %w", dir, err)
+	}
+	return &Store{
+		dir:      dir,
+		opts:     opts.withDefaults(),
+		sessions: make(map[string]*journal),
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// journalFor returns (creating on demand) the session's journal handle.
+func (s *Store) journalFor(id string) (*journal, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	j, ok := s.sessions[id]
+	if !ok {
+		j = &journal{
+			path:     filepath.Join(s.dir, escapeID(id)+journalExt),
+			snapPath: filepath.Join(s.dir, escapeID(id)+snapExt),
+			fsync:    s.opts.Fsync,
+		}
+		s.sessions[id] = j
+	}
+	return j, nil
+}
+
+// Append durably records one checkpoint for state.SessionID, assigning
+// and returning its sequence number. Every Options.SnapshotEvery
+// appends the journal is compacted: the newest state is rewritten
+// atomically into the snapshot file and the journal restarted.
+func (s *Store) Append(state SessionState) (uint64, error) {
+	j, err := s.journalFor(state.SessionID)
+	if err != nil {
+		return 0, err
+	}
+	return j.append(state, s.opts.SnapshotEvery)
+}
+
+// Load recovers the newest intact checkpoint for the session: the last
+// valid journal frame, or the snapshot file when the journal is empty,
+// missing or corrupt from the start. A corrupt or truncated journal
+// tail silently falls back to the last good frame before it. Returns
+// ErrNoState when the session has no usable state at all.
+func (s *Store) Load(sessionID string) (SessionState, error) {
+	j, err := s.journalFor(sessionID)
+	if err != nil {
+		return SessionState{}, err
+	}
+	return j.load()
+}
+
+// Sessions lists the IDs with checkpoint files on disk, sorted.
+func (s *Store) Sessions() ([]string, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: list %s: %w", s.dir, err)
+	}
+	seen := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		var base string
+		switch {
+		case strings.HasSuffix(name, journalExt):
+			base = strings.TrimSuffix(name, journalExt)
+		case strings.HasSuffix(name, snapExt):
+			base = strings.TrimSuffix(name, snapExt)
+		default:
+			continue
+		}
+		if id, ok := unescapeID(base); ok {
+			seen[id] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Remove deletes the session's checkpoint files — called when a target
+// is deliberately untracked and its state should not be resumable.
+func (s *Store) Remove(sessionID string) error {
+	j, err := s.journalFor(sessionID)
+	if err != nil {
+		return err
+	}
+	if err := j.remove(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.sessions, sessionID)
+	s.mu.Unlock()
+	return nil
+}
+
+// Close releases every open journal file. The store is unusable after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var errs []error
+	for _, j := range s.sessions {
+		if err := j.close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	s.sessions = nil
+	return errors.Join(errs...)
+}
+
+// encodeRecord serializes a SessionState into a frame payload.
+func encodeRecord(state SessionState) ([]byte, error) {
+	data, err := json.Marshal(state)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode session %q: %w", state.SessionID, err)
+	}
+	return data, nil
+}
+
+// decodeRecord deserializes a frame payload.
+func decodeRecord(payload []byte) (SessionState, error) {
+	var state SessionState
+	if err := json.Unmarshal(payload, &state); err != nil {
+		return SessionState{}, fmt.Errorf("checkpoint: decode record: %w", err)
+	}
+	return state, nil
+}
+
+// escapeID maps a session ID to a filesystem-safe file stem:
+// alphanumerics, '-' and '_' pass through, everything else becomes
+// %XX. The mapping is invertible so Sessions can list IDs.
+func escapeID(id string) string {
+	var b strings.Builder
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String()
+}
+
+// unescapeID reverses escapeID.
+func unescapeID(s string) (string, bool) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(s) {
+			return "", false
+		}
+		var v int
+		if _, err := fmt.Sscanf(s[i+1:i+3], "%02X", &v); err != nil {
+			return "", false
+		}
+		b.WriteByte(byte(v))
+		i += 2
+	}
+	return b.String(), true
+}

@@ -1,0 +1,263 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"perpos/internal/core"
+)
+
+func testState(id string, clock core.LogicalTime) SessionState {
+	return SessionState{
+		SessionID: id,
+		Taken:     time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		Graph: core.GraphState{Nodes: []core.NodeState{
+			{ID: "filter", Clock: clock, Component: []byte(`{"count":` + itoa(int(clock)) + `}`)},
+		}},
+		Availability: 1,
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestAppendLoadRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for i := 1; i <= 3; i++ {
+		seq, err := st.Append(testState("alice", core.LogicalTime(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	got, err := st.Load("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 3 || got.Graph.Nodes[0].Clock != 3 {
+		t.Fatalf("loaded seq=%d clock=%d, want 3/3", got.Seq, got.Graph.Nodes[0].Clock)
+	}
+}
+
+func TestLoadNoState(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Load("nobody"); !errors.Is(err, ErrNoState) {
+		t.Fatalf("Load = %v, want ErrNoState", err)
+	}
+}
+
+// TestCorruptTailFallsBack flips bytes in the journal tail: recovery
+// must return the last frame before the damage.
+func TestCorruptTailFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SnapshotEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := st.Append(testState("bob", core.LogicalTime(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	path := filepath.Join(dir, "bob.journal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload of the final frame.
+	for i := len(data) - 4; i < len(data); i++ {
+		data[i] ^= 0xFF
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, err := st2.Load("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 2 {
+		t.Fatalf("recovered seq = %d, want 2 (last good before corrupt tail)", got.Seq)
+	}
+	// Appending after recovery continues the sequence past the damage.
+	seq, err := st2.Append(testState("bob", 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("post-recovery seq = %d, want 3", seq)
+	}
+}
+
+// TestTruncatedTailFallsBack cuts the journal mid-frame — the torn
+// write a crash leaves behind.
+func TestTruncatedTailFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SnapshotEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if _, err := st.Append(testState("carol", core.LogicalTime(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	path := filepath.Join(dir, "carol.journal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, err := st2.Load("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1 {
+		t.Fatalf("recovered seq = %d, want 1", got.Seq)
+	}
+}
+
+// TestSnapshotCompaction: after SnapshotEvery appends the journal is
+// restarted and the snapshot carries the newest state; a fully
+// garbage journal then still recovers from the snapshot.
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if _, err := st.Append(testState("dave", core.LogicalTime(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	jpath := filepath.Join(dir, "dave.journal")
+	if fi, err := os.Stat(jpath); err != nil || fi.Size() != 0 {
+		t.Fatalf("journal after compaction: size=%v err=%v, want empty", fi.Size(), err)
+	}
+	// Destroy the journal entirely: recovery must use the snapshot.
+	if err := os.WriteFile(jpath, []byte("garbage that is no frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, err := st2.Load("dave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 4 {
+		t.Fatalf("snapshot recovery seq = %d, want 4", got.Seq)
+	}
+}
+
+func TestSessionsAndRemove(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, id := range []string{"target-001", "target/with:odd chars", "zeta"} {
+		if _, err := st.Append(testState(id, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := st.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"target-001", "target/with:odd chars", "zeta"}
+	if len(ids) != len(want) {
+		t.Fatalf("Sessions = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("Sessions = %v, want %v", ids, want)
+		}
+	}
+	if err := st.Remove("zeta"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("zeta"); !errors.Is(err, ErrNoState) {
+		t.Fatalf("Load after Remove = %v, want ErrNoState", err)
+	}
+	ids, _ = st.Sessions()
+	if len(ids) != 2 {
+		t.Fatalf("Sessions after remove = %v, want 2 entries", ids)
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if _, err := st.Append(testState("x", 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if _, err := st.Load("x"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Load after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	for _, id := range []string{"plain", "has space", "sl/ash", "uni·code", "%percent"} {
+		esc := escapeID(id)
+		for i := 0; i < len(esc); i++ {
+			c := esc[i]
+			ok := c == '-' || c == '_' || c == '%' ||
+				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+			if !ok {
+				t.Fatalf("escapeID(%q) = %q contains unsafe byte %q", id, esc, c)
+			}
+		}
+		back, ok := unescapeID(esc)
+		if !ok || back != id {
+			t.Fatalf("unescapeID(escapeID(%q)) = %q, %v", id, back, ok)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+const (
+	journalExt = ".journal"
+	snapExt    = ".snap"
+
+	// frameHeaderLen is magic(2) + length(4) + crc(4).
+	frameHeaderLen = 10
+	// maxFrameLen bounds a single record; larger lengths in a header are
+	// treated as corruption rather than attempted allocations.
+	maxFrameLen = 64 << 20
+)
+
+// frameMagic marks the start of a frame; a mismatch means the scan ran
+// into garbage and recovery stops at the previous good frame.
+var frameMagic = [2]byte{0xC5, 0x9E}
+
+// journal is the per-session durable state: an append-only frame log
+// plus a single-frame snapshot file maintained by compaction. All
+// operations serialize on mu.
+type journal struct {
+	mu       sync.Mutex
+	path     string
+	snapPath string
+	fsync    bool
+
+	f       *os.File // opened lazily for append
+	appends int      // appends since the last compaction
+	nextSeq uint64   // 0 = not yet recovered from disk
+}
+
+// writeFrame appends one frame to w.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [frameHeaderLen]byte
+	copy(hdr[0:2], frameMagic[:])
+	binary.LittleEndian.PutUint32(hdr[2:6], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[6:10], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// scanFrames reads frames from data until the first corrupt or
+// truncated frame, returning the valid payloads in order. A bad tail is
+// the expected post-crash shape and is not an error.
+func scanFrames(data []byte) [][]byte {
+	var out [][]byte
+	for len(data) >= frameHeaderLen {
+		if !bytes.Equal(data[0:2], frameMagic[:]) {
+			break
+		}
+		n := binary.LittleEndian.Uint32(data[2:6])
+		if n > maxFrameLen || int(n) > len(data)-frameHeaderLen {
+			break // truncated or nonsense length
+		}
+		payload := data[frameHeaderLen : frameHeaderLen+int(n)]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[6:10]) {
+			break // torn write
+		}
+		out = append(out, payload)
+		data = data[frameHeaderLen+int(n):]
+	}
+	return out
+}
+
+// lastGood decodes the newest valid record in a frame log, preferring
+// later frames (higher Seq) and skipping frames whose JSON is somehow
+// undecodable despite an intact CRC.
+func lastGood(data []byte) (SessionState, bool) {
+	frames := scanFrames(data)
+	for i := len(frames) - 1; i >= 0; i-- {
+		if state, err := decodeRecord(frames[i]); err == nil {
+			return state, true
+		}
+	}
+	return SessionState{}, false
+}
+
+// recoverLocked establishes nextSeq from disk on first use.
+func (j *journal) recoverLocked() error {
+	if j.nextSeq != 0 {
+		return nil
+	}
+	state, err := j.loadLocked()
+	switch {
+	case err == nil:
+		j.nextSeq = state.Seq + 1
+	case errors.Is(err, ErrNoState):
+		j.nextSeq = 1
+	default:
+		return err
+	}
+	return nil
+}
+
+// append writes one record, compacting every snapshotEvery appends.
+func (j *journal) append(state SessionState, snapshotEvery int) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.recoverLocked(); err != nil {
+		return 0, err
+	}
+	state.Seq = j.nextSeq
+
+	payload, err := encodeRecord(state)
+	if err != nil {
+		return 0, err
+	}
+	if j.f == nil {
+		f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return 0, fmt.Errorf("checkpoint: open journal: %w", err)
+		}
+		j.f = f
+	}
+	if err := writeFrame(j.f, payload); err != nil {
+		return 0, fmt.Errorf("checkpoint: append: %w", err)
+	}
+	if j.fsync {
+		if err := j.f.Sync(); err != nil {
+			return 0, fmt.Errorf("checkpoint: sync journal: %w", err)
+		}
+	}
+	j.nextSeq++
+	j.appends++
+	if j.appends >= snapshotEvery {
+		if err := j.compactLocked(payload); err != nil {
+			return 0, err
+		}
+	}
+	return state.Seq, nil
+}
+
+// compactLocked promotes the given (newest) record payload into the
+// snapshot file atomically and restarts the journal. Called with j.mu
+// held and j.f open.
+func (j *journal) compactLocked(newest []byte) error {
+	tmp := j.snapPath + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: snapshot: %w", err)
+	}
+	if err := writeFrame(f, newest); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: snapshot: %w", err)
+	}
+	if j.fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("checkpoint: sync snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, j.snapPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: snapshot: %w", err)
+	}
+	// The snapshot now covers everything in the journal: restart it.
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("checkpoint: truncate journal: %w", err)
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("checkpoint: truncate journal: %w", err)
+	}
+	j.appends = 0
+	return nil
+}
+
+// load recovers the newest intact record.
+func (j *journal) load() (SessionState, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.loadLocked()
+}
+
+func (j *journal) loadLocked() (SessionState, error) {
+	var best SessionState
+	var found bool
+	if data, err := os.ReadFile(j.path); err == nil {
+		if state, ok := lastGood(data); ok {
+			best, found = state, true
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return SessionState{}, fmt.Errorf("checkpoint: read journal: %w", err)
+	}
+	if data, err := os.ReadFile(j.snapPath); err == nil {
+		if state, ok := lastGood(data); ok && (!found || state.Seq > best.Seq) {
+			best, found = state, true
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return SessionState{}, fmt.Errorf("checkpoint: read snapshot: %w", err)
+	}
+	if !found {
+		return SessionState{}, ErrNoState
+	}
+	return best, nil
+}
+
+// remove deletes both files and resets the handle.
+func (j *journal) remove() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+	var errs []error
+	for _, p := range []string{j.path, j.snapPath} {
+		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+			errs = append(errs, err)
+		}
+	}
+	j.appends, j.nextSeq = 0, 0
+	return errors.Join(errs...)
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

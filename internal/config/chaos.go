@@ -1,0 +1,43 @@
+package config
+
+import (
+	"time"
+
+	"perpos/internal/chaos"
+)
+
+// ChaosDef is the JSON schema for a declarative fault script: timed
+// kill/heal transitions against named chaos-wrapped components. Keeping
+// the script in the pipeline definition means a failure scenario lives
+// next to the wiring it exercises and replays identically run-to-run —
+// soak tests and perpos-run's chaos mode both read it from here instead
+// of hardcoding outage timings.
+type ChaosDef struct {
+	// Steps are the script's transitions, applied in offset order.
+	Steps []ChaosStepDef `json:"steps"`
+}
+
+// ChaosStepDef is one timed fault transition.
+type ChaosStepDef struct {
+	// AtMS is the step's offset from script start, in milliseconds.
+	AtMS int `json:"at_ms"`
+	// Action is "kill" or "heal".
+	Action string `json:"action"`
+	// Target names the chaos wrapper the action applies to.
+	Target string `json:"target"`
+}
+
+// Schedule converts the definition to a runnable chaos.Schedule. Action
+// and target validity are checked by the schedule itself (Validate/Run)
+// against the live target set.
+func (d ChaosDef) Schedule() chaos.Schedule {
+	steps := make([]chaos.Step, 0, len(d.Steps))
+	for _, s := range d.Steps {
+		steps = append(steps, chaos.Step{
+			At:     time.Duration(s.AtMS) * time.Millisecond,
+			Action: chaos.Action(s.Action),
+			Target: s.Target,
+		})
+	}
+	return chaos.Schedule{Steps: steps}
+}

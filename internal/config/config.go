@@ -51,6 +51,14 @@ type Pipeline struct {
 	// reroutes. Consumed by the session runtime; nil disables
 	// supervision.
 	Supervision *SupervisionDef `json:"supervision,omitempty"`
+	// Checkpoint declares durable session checkpointing: where state
+	// snapshots live on disk and how often running sessions persist.
+	// Consumed by the session runtime; nil disables checkpointing.
+	Checkpoint *CheckpointDef `json:"checkpoint,omitempty"`
+	// Chaos declares a fault-injection script: timed kill/heal steps
+	// against chaos-wrapped components. Consumed by soak tests and
+	// perpos-run's chaos mode; nil means no injected faults.
+	Chaos *ChaosDef `json:"chaos,omitempty"`
 }
 
 // ComponentDef places one component.

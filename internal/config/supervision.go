@@ -42,11 +42,15 @@ type RestartDef struct {
 
 // RerouteDef is the JSON schema for one degradation rule: when the
 // watched component's breaker opens, the break connection is cut and
-// the make connection established; recovery reverses the edit.
+// the make connection established; recovery reverses the edit. Rules
+// sharing a break connection are a conflict group; priority (lower
+// first, declaration order on ties) picks which engages when several
+// watches are down at once.
 type RerouteDef struct {
-	Watch string        `json:"watch"`
-	Break ConnectionDef `json:"break"`
-	Make  ConnectionDef `json:"make"`
+	Watch    string        `json:"watch"`
+	Break    ConnectionDef `json:"break"`
+	Make     ConnectionDef `json:"make"`
+	Priority int           `json:"priority,omitempty"`
 }
 
 // Policy converts the definition to a health.Policy.
@@ -81,9 +85,10 @@ func (d SupervisionDef) HealthReroutes() []health.Reroute {
 	out := make([]health.Reroute, 0, len(d.Reroutes))
 	for _, r := range d.Reroutes {
 		out = append(out, health.Reroute{
-			Watch: r.Watch,
-			Break: core.Edge{From: r.Break.From, To: r.Break.To, Port: r.Break.Port},
-			Make:  core.Edge{From: r.Make.From, To: r.Make.To, Port: r.Make.Port},
+			Watch:    r.Watch,
+			Break:    core.Edge{From: r.Break.From, To: r.Break.To, Port: r.Break.Port},
+			Make:     core.Edge{From: r.Make.From, To: r.Make.To, Port: r.Make.Port},
+			Priority: r.Priority,
 		})
 	}
 	return out

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"encoding/json"
+	"sync"
+)
 
 // FuncComponent adapts a plain function into a Processing Component.
 // It is the quickest way to write small transform steps and test
@@ -195,4 +198,24 @@ func (s *SliceSource) Step(emit Emit) (bool, error) {
 	emit(s.Samples[s.next])
 	s.next++
 	return s.next < len(s.Samples), nil
+}
+
+// MarshalState implements StateAccess: the replay position, so a
+// restored source continues where the checkpoint was taken.
+func (s *SliceSource) MarshalState() ([]byte, error) {
+	return json.Marshal(struct {
+		Next int `json:"next"`
+	}{s.next})
+}
+
+// UnmarshalState implements StateAccess.
+func (s *SliceSource) UnmarshalState(data []byte) error {
+	var st struct {
+		Next int `json:"next"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	s.next = st.Next
+	return nil
 }

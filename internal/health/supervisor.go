@@ -27,16 +27,30 @@ func (f AdapterFunc) ApplyEdit(edit func(*core.Graph) error) error { return f(ed
 // Break is disconnected and Make is connected — the PSL adaptation that
 // routes the pipeline around the failed branch. When the node recovers,
 // the edit is reversed, restoring the full graph.
+//
+// Rules sharing the same Break edge form a conflict group: they are
+// alternative routings of the same spot in the pipeline, so at most one
+// of them is engaged at a time. Within a group the supervisor engages
+// the best applicable rule — lowest Priority first, declaration order
+// breaking ties — and switches rules atomically when breaker states
+// change. That gives multi-failure scenarios a deterministic, ordered
+// fallback: with both fusion branches down, the group's top-priority
+// rule stays engaged rather than two rules fighting over the edge.
 type Reroute struct {
 	// Watch is the node whose breaker drives this rule.
 	Watch string
 	// Break is the edge removed while degraded (typically the failed
 	// branch's hand-off into the fusion component, or the fusion
-	// component's own output edge).
+	// component's own output edge). Also the conflict-group key.
 	Break core.Edge
 	// Make is the edge added while degraded (the surviving branch's
 	// bypass to the sink).
 	Make core.Edge
+	// Priority orders rules within a conflict group: lower engages
+	// first when several rules' watches are down simultaneously. Equal
+	// priorities fall back to declaration order, so the zero value keeps
+	// the pre-priority behaviour deterministic.
+	Priority int
 }
 
 // Supervisor closes the loop from health monitoring to adaptation: a
@@ -49,9 +63,10 @@ type Supervisor struct {
 	mon      *Monitor
 	adapter  Adapter
 	reroutes []Reroute
+	groups   [][]int // conflict groups: reroute indexes sharing a Break edge, in declaration order
 
 	mu        sync.Mutex
-	engaged   map[int]bool // reroute index → currently applied
+	engaged   map[int]int // group index → engaged reroute index
 	listeners []func(Event)
 	cancel    context.CancelFunc
 	done      chan struct{}
@@ -59,16 +74,25 @@ type Supervisor struct {
 
 // NewSupervisor wires a supervisor over the monitor. adapter may be nil
 // when no reroutes are configured. Every watched node named by a
-// reroute is pre-registered with the monitor.
+// reroute is pre-registered with the monitor, and rules are partitioned
+// into conflict groups by their Break edge.
 func NewSupervisor(mon *Monitor, adapter Adapter, reroutes []Reroute) *Supervisor {
 	s := &Supervisor{
 		mon:      mon,
 		adapter:  adapter,
 		reroutes: reroutes,
-		engaged:  make(map[int]bool, len(reroutes)),
+		engaged:  make(map[int]int, len(reroutes)),
 	}
-	for _, r := range reroutes {
+	byBreak := make(map[core.Edge]int)
+	for i, r := range reroutes {
 		mon.Watch(r.Watch)
+		gi, ok := byBreak[r.Break]
+		if !ok {
+			gi = len(s.groups)
+			byBreak[r.Break] = gi
+			s.groups = append(s.groups, nil)
+		}
+		s.groups[gi] = append(s.groups[gi], i)
 	}
 	return s
 }
@@ -133,8 +157,8 @@ func (s *Supervisor) Stop() {
 // background goroutine.
 func (s *Supervisor) Sweep(now time.Time) []Event {
 	events := s.mon.Advance(now)
-	for i := range events {
-		s.apply(&events[i])
+	if len(events) > 0 {
+		s.reconcile(events)
 	}
 	if len(events) > 0 {
 		s.mu.Lock()
@@ -150,52 +174,103 @@ func (s *Supervisor) Sweep(now time.Time) []Event {
 	return events
 }
 
-// apply engages or disengages the reroutes watching the transitioned
-// node. A failed edit downgrades the event's Reason so listeners see
-// that adaptation did not land.
-func (s *Supervisor) apply(e *Event) {
+// reconcile drives every conflict group toward its desired rule after a
+// batch of breaker transitions: the first rule by (Priority, declaration
+// order) whose watched node is currently down, or none when all watches
+// are healthy. Each group transition — engage, disengage, or a direct
+// switch between rules — is applied as a single atomic edit. A failed
+// edit annotates the triggering event so listeners see that adaptation
+// did not land; the group is retried on the next transition.
+func (s *Supervisor) reconcile(events []Event) {
 	if s.adapter == nil {
 		return
 	}
-	for i, r := range s.reroutes {
-		if r.Watch != e.Node {
+	for gi, group := range s.groups {
+		want := -1
+		for _, ri := range group {
+			r := s.reroutes[ri]
+			h, ok := s.mon.Health(r.Watch)
+			if !ok || h.State != StateDown {
+				continue
+			}
+			// Strictly-lower priority wins; ties keep the earlier
+			// declaration (group holds indexes in declaration order).
+			if want < 0 || r.Priority < s.reroutes[want].Priority {
+				want = ri
+			}
+		}
+
+		s.mu.Lock()
+		have, engaged := s.engaged[gi]
+		s.mu.Unlock()
+		if !engaged {
+			have = -1
+		}
+		if have == want {
+			continue
+		}
+
+		var edit func(*core.Graph) error
+		switch {
+		case have < 0: // engage want from the pristine graph
+			br, mk := s.reroutes[want].Break, s.reroutes[want].Make
+			edit = func(g *core.Graph) error {
+				if err := g.Disconnect(br.From, br.To, br.Port); err != nil {
+					return err
+				}
+				return g.Connect(mk.From, mk.To, mk.Port)
+			}
+		case want < 0: // disengage have, restoring the broken edge
+			old, br := s.reroutes[have].Make, s.reroutes[have].Break
+			edit = func(g *core.Graph) error {
+				if err := g.Disconnect(old.From, old.To, old.Port); err != nil {
+					return err
+				}
+				return g.Connect(br.From, br.To, br.Port)
+			}
+		default: // switch rules without an intermediate restore
+			old, mk := s.reroutes[have].Make, s.reroutes[want].Make
+			edit = func(g *core.Graph) error {
+				if err := g.Disconnect(old.From, old.To, old.Port); err != nil {
+					return err
+				}
+				return g.Connect(mk.From, mk.To, mk.Port)
+			}
+		}
+
+		if err := s.adapter.ApplyEdit(edit); err != nil {
+			s.annotate(events, group, want >= 0, err)
 			continue
 		}
 		s.mu.Lock()
-		engaged := s.engaged[i]
-		s.mu.Unlock()
-		switch {
-		case !e.Up && !engaged:
-			err := s.adapter.ApplyEdit(func(g *core.Graph) error {
-				if derr := g.Disconnect(r.Break.From, r.Break.To, r.Break.Port); derr != nil {
-					return derr
-				}
-				return g.Connect(r.Make.From, r.Make.To, r.Make.Port)
-			})
-			if err != nil {
-				e.Reason = "reroute-failed"
-				e.Err = fmt.Errorf("health: degrade %q: %w", e.Node, err)
-				continue
-			}
-			s.mu.Lock()
-			s.engaged[i] = true
-			s.mu.Unlock()
-		case e.Up && engaged:
-			err := s.adapter.ApplyEdit(func(g *core.Graph) error {
-				if derr := g.Disconnect(r.Make.From, r.Make.To, r.Make.Port); derr != nil {
-					return derr
-				}
-				return g.Connect(r.Break.From, r.Break.To, r.Break.Port)
-			})
-			if err != nil {
-				e.Reason = "restore-failed"
-				e.Err = fmt.Errorf("health: restore %q: %w", e.Node, err)
-				continue
-			}
-			s.mu.Lock()
-			s.engaged[i] = false
-			s.mu.Unlock()
+		if want < 0 {
+			delete(s.engaged, gi)
+		} else {
+			s.engaged[gi] = want
 		}
+		s.mu.Unlock()
+	}
+}
+
+// annotate marks the first event from one of the group's watched nodes
+// with the edit failure, so the listener batch carries the outcome.
+func (s *Supervisor) annotate(events []Event, group []int, engaging bool, err error) {
+	watched := make(map[string]bool, len(group))
+	for _, ri := range group {
+		watched[s.reroutes[ri].Watch] = true
+	}
+	for i := range events {
+		if !watched[events[i].Node] {
+			continue
+		}
+		if engaging {
+			events[i].Reason = "reroute-failed"
+			events[i].Err = fmt.Errorf("health: degrade %q: %w", events[i].Node, err)
+		} else {
+			events[i].Reason = "restore-failed"
+			events[i].Err = fmt.Errorf("health: restore %q: %w", events[i].Node, err)
+		}
+		return
 	}
 }
 
@@ -203,10 +278,5 @@ func (s *Supervisor) apply(e *Event) {
 func (s *Supervisor) Degraded() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, on := range s.engaged {
-		if on {
-			return true
-		}
-	}
-	return false
+	return len(s.engaged) > 0
 }

@@ -11,6 +11,7 @@ import (
 	"perpos/internal/building"
 	"perpos/internal/catalog"
 	"perpos/internal/chaos"
+	"perpos/internal/checkpoint"
 	"perpos/internal/core"
 	"perpos/internal/filter"
 	"perpos/internal/gps"
@@ -35,7 +36,7 @@ import (
 func BenchmarkRuntimeSessions(b *testing.B) {
 	for _, n := range []int{1, 10, 100, 1000} {
 		b.Run(fmt.Sprintf("sessions_%d", n), func(b *testing.B) {
-			benchSessions(b, n, gpsSessionConfig(b))
+			benchSessions(b, n, gpsSessionConfig(b), 0)
 		})
 	}
 }
@@ -53,12 +54,40 @@ func BenchmarkRuntimeSessionsSupervised(b *testing.B) {
 				MaxConsecutiveErrors: 3,
 				Deadlines:            map[string]time.Duration{"gps": time.Second},
 			}
-			benchSessions(b, n, cfg)
+			benchSessions(b, n, cfg, 0)
 		})
 	}
 }
 
-func benchSessions(b *testing.B, n int, cfg SessionConfig) {
+// BenchmarkRuntimeSessionsCheckpointed is the supervised workload with
+// durable checkpointing on top: every session serializes its full
+// component state to the journal every 5 paced steps (~100ms cadence,
+// matching a production ticker). The delta against
+// BenchmarkRuntimeSessionsSupervised is the durability overhead
+// (budget: ≤5%) — dominated by the state marshal, since the journal
+// append is an unsynced sequential write.
+func BenchmarkRuntimeSessionsCheckpointed(b *testing.B) {
+	for _, n := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("sessions_%d", n), func(b *testing.B) {
+			cfg := gpsSessionConfig(b)
+			cfg.Health = &health.Policy{
+				MaxConsecutiveErrors: 3,
+				Deadlines:            map[string]time.Duration{"gps": time.Second},
+			}
+			store, err := checkpoint.Open(b.TempDir(), checkpoint.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			cfg.Checkpoints = store
+			benchSessions(b, n, cfg, 5)
+		})
+	}
+}
+
+// benchSessions drives n paced sessions; ckptEverySteps > 0 durably
+// checkpoints each session on that step cadence.
+func benchSessions(b *testing.B, n int, cfg SessionConfig, ckptEverySteps int) {
 	const (
 		pace   = 20 * time.Millisecond
 		window = 300 * time.Millisecond
@@ -87,7 +116,7 @@ func benchSessions(b *testing.B, n int, cfg SessionConfig) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for time.Now().Before(deadline) {
+				for step := 1; time.Now().Before(deadline); step++ {
 					more, err := s.Step()
 					if err != nil {
 						b.Error(err)
@@ -95,6 +124,12 @@ func benchSessions(b *testing.B, n int, cfg SessionConfig) {
 					}
 					if !more {
 						return
+					}
+					if ckptEverySteps > 0 && step%ckptEverySteps == 0 {
+						if _, err := s.Checkpoint(); err != nil {
+							b.Error(err)
+							return
+						}
 					}
 					time.Sleep(pace)
 				}

@@ -1,0 +1,176 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"perpos/internal/checkpoint"
+	"perpos/internal/core"
+	"perpos/internal/positioning"
+)
+
+// This file is the durability seam of the session layer: sessions
+// checkpoint their PSL state (component state, logical clocks, span
+// bookkeeping) plus the provider's JSR-179 availability into the
+// configured checkpoint.Store, and the manager resumes evicted or
+// crashed sessions from the newest surviving record. Graph STRUCTURE is
+// never checkpointed — the shared Blueprint rebuilds it — so resumed
+// sessions always run the current pipeline definition with the old
+// state rehydrated onto matching node IDs (state for since-removed
+// nodes is skipped by core.Graph.RestoreState).
+
+// Checkpoint captures the session's state and appends it durably,
+// returning the record's sequence number. Snapshots need a quiescent
+// graph, so an active async runner is paused around the capture and
+// restarted — the same pause the supervisor uses for graph edits; a
+// Step/Run-driven session just holds the run lock. Fails with
+// ErrNoCheckpoints when the manager has no store.
+func (s *Session) Checkpoint() (uint64, error) {
+	if s.store == nil {
+		return 0, ErrNoCheckpoints
+	}
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	r := s.runner
+	ctx, opts := s.runCtx, s.runnerOpts
+	s.mu.Unlock()
+	if r != nil {
+		_ = r.Stop()
+	}
+	seq, err := s.appendSnapshot()
+	if r != nil {
+		s.mu.Lock()
+		if s.closed || s.runner != r {
+			// Closed or stopped while paused: don't resurrect the runner.
+			s.mu.Unlock()
+			return seq, err
+		}
+		nr := core.NewRunner(s.graph, opts...)
+		if serr := nr.Start(ctx); serr != nil {
+			s.runner = nil
+			s.mu.Unlock()
+			return seq, errors.Join(err, serr)
+		}
+		s.runner = nr
+		s.mu.Unlock()
+	}
+	return seq, err
+}
+
+// checkpointFinal is the evict-time variant: it stops the runner for
+// good (the session is about to close) and captures the state the
+// session dies with. The supervisor is stopped first so no graph edit
+// interleaves with the teardown.
+func (s *Session) checkpointFinal() (uint64, error) {
+	if s.store == nil {
+		return 0, ErrNoCheckpoints
+	}
+	if s.supervisor != nil {
+		s.supervisor.Stop()
+	}
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	r := s.runner
+	s.runner = nil
+	s.stopCheckpointLoopLocked()
+	s.mu.Unlock()
+	if r != nil {
+		_ = r.Stop()
+	}
+	return s.appendSnapshot()
+}
+
+// appendSnapshot captures the quiescent graph and appends one record.
+// Caller holds runMu with no runner active.
+func (s *Session) appendSnapshot() (uint64, error) {
+	gs, err := s.graph.SnapshotState()
+	if err != nil {
+		return 0, fmt.Errorf("runtime: checkpoint session %q: %w", s.id, err)
+	}
+	return s.store.Append(checkpoint.SessionState{
+		SessionID:    s.id,
+		Taken:        s.clock(),
+		Graph:        gs,
+		Availability: int(s.provider.Availability()),
+	})
+}
+
+// checkpointLoop periodically checkpoints a running session until its
+// stop channel closes. Errors are deliberately dropped: a failed
+// periodic checkpoint leaves the previous record in place, and the
+// evict-time checkpoint still runs.
+func (s *Session) checkpointLoop(stop <-chan struct{}) {
+	t := time.NewTicker(s.ckptEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			_, _ = s.Checkpoint()
+		}
+	}
+}
+
+// stopCheckpointLoopLocked halts the periodic ticker. Caller holds s.mu.
+func (s *Session) stopCheckpointLoopLocked() {
+	if s.ckptStop != nil {
+		close(s.ckptStop)
+		s.ckptStop = nil
+	}
+}
+
+// Checkpoints returns the manager's checkpoint store (nil when
+// checkpointing is disabled).
+func (m *Manager) Checkpoints() *checkpoint.Store { return m.cfg.Checkpoints }
+
+// ResumeSession rebuilds the target's session from its newest durable
+// checkpoint: the blueprint is instantiated into a fresh, structurally
+// current graph, then component state, logical clocks and the
+// provider's availability are rehydrated. A torn journal tail is
+// transparently skipped by the store (recovery falls back to the last
+// intact record or the snapshot file). Returns the live session
+// unchanged when the target is already tracked, and
+// checkpoint.ErrNoState when nothing durable exists for it.
+func (m *Manager) ResumeSession(id string) (*Session, error) {
+	store := m.cfg.Checkpoints
+	if store == nil {
+		return nil, ErrNoCheckpoints
+	}
+	state, err := store.Load(id)
+	if err != nil {
+		return nil, err
+	}
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok := sh.sessions[id]; ok {
+		s.touch()
+		return s, nil
+	}
+	s, err := newSession(id, m.cfg, m.clock)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.graph.RestoreState(state.Graph); err != nil {
+		s.close()
+		return nil, fmt.Errorf("runtime: resume session %q: %w", id, err)
+	}
+	s.provider.SetAvailability(positioning.Availability(state.Availability))
+	if sh.sessions == nil {
+		sh.sessions = make(map[string]*Session)
+	}
+	sh.sessions[id] = s
+	return s, nil
+}

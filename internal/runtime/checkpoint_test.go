@@ -1,0 +1,426 @@
+package runtime
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perpos/internal/building"
+	"perpos/internal/catalog"
+	"perpos/internal/chaos"
+	"perpos/internal/checkpoint"
+	"perpos/internal/core"
+	"perpos/internal/filter"
+	"perpos/internal/geo"
+	"perpos/internal/gps"
+	"perpos/internal/health"
+	"perpos/internal/positioning"
+	"perpos/internal/trace"
+	"perpos/internal/wifi"
+)
+
+// localOf projects a delivered position into the test origin's frame.
+func localOf(p positioning.Position) geo.ENU {
+	if p.HasLocal {
+		return p.Local
+	}
+	return geo.NewProjection(testOrigin).ToLocal(p.Global)
+}
+
+// TestEvictResumeContinuity: a step-driven GPS session is evicted
+// (which checkpoints) and resumed — component state, logical clocks and
+// the position stream must continue, not restart.
+func TestEvictResumeContinuity(t *testing.T) {
+	store, err := checkpoint.Open(t.TempDir(), checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	cfg := gpsSessionConfig(t)
+	cfg.Checkpoints = store
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	s, err := m.GetOrCreate("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	posBefore, ok := s.Provider().Last()
+	if !ok {
+		t.Fatal("no position before eviction")
+	}
+	nBefore, _ := s.Graph().Node("interpreter")
+	clockBefore := nBefore.Clock()
+	if clockBefore == 0 {
+		t.Fatal("interpreter never emitted before eviction")
+	}
+
+	if !m.Evict("alice") {
+		t.Fatal("evict found no session")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("manager still tracks %d sessions", m.Len())
+	}
+
+	s2, err := m.ResumeSession("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 == s {
+		t.Fatal("resume returned the evicted session")
+	}
+	n2, _ := s2.Graph().Node("interpreter")
+	if n2.Clock() != clockBefore {
+		t.Fatalf("resumed interpreter clock = %d, want %d", n2.Clock(), clockBefore)
+	}
+	if got := s2.Provider().Availability(); got != positioning.Available {
+		t.Fatalf("resumed availability = %v, want Available", got)
+	}
+
+	// The resumed source continues mid-trace: the next position is one
+	// epoch of walking away from the last pre-evict fix, not back at the
+	// start of the trace.
+	for i := 0; i < 5; i++ {
+		if _, err := s2.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s2.Provider().Last(); ok {
+			break
+		}
+	}
+	posAfter, ok := s2.Provider().Last()
+	if !ok {
+		t.Fatal("no position after resume")
+	}
+	if d := localOf(posAfter).Distance(localOf(posBefore)); d > 25 {
+		t.Errorf("first resumed fix %.1f m from last pre-evict fix, want continuity (<= 25 m)", d)
+	}
+	// Logical time is monotonic across the resume: the interpreter's
+	// clock continues past the checkpointed value, never restarts.
+	if n2.Clock() <= clockBefore {
+		t.Errorf("resumed interpreter clock = %d, want > %d (monotonic)", n2.Clock(), clockBefore)
+	}
+}
+
+// TestResumeFromCorruptedTail: the newest journal record is damaged on
+// disk; resume must fall back to the last good checkpoint (the manual
+// mid-run one), not fail.
+func TestResumeFromCorruptedTail(t *testing.T) {
+	dir := t.TempDir()
+	store, err := checkpoint.Open(dir, checkpoint.Options{SnapshotEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gpsSessionConfig(t)
+	cfg.Checkpoints = store
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := m.GetOrCreate("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nMid, _ := s.Graph().Node("interpreter")
+	clockMid := nMid.Clock()
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Evict("bob") // appends the final (newer) record
+	m.Close()
+	store.Close()
+
+	// Damage the final record's payload.
+	path := filepath.Join(dir, "bob.journal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(data) - 8; i < len(data); i++ {
+		data[i] ^= 0xFF
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := checkpoint.Open(dir, checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	cfg2 := gpsSessionConfig(t)
+	cfg2.Checkpoints = store2
+	m2, err := NewManager(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+
+	s2, err := m2.ResumeSession("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, _ := s2.Graph().Node("interpreter")
+	if n2.Clock() != clockMid {
+		t.Fatalf("resumed from corrupted tail: interpreter clock = %d, want %d (the mid-run checkpoint)", n2.Clock(), clockMid)
+	}
+}
+
+// TestResumeUnknownSession: nothing durable means checkpoint.ErrNoState.
+func TestResumeUnknownSession(t *testing.T) {
+	store, err := checkpoint.Open(t.TempDir(), checkpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	cfg := gpsSessionConfig(t)
+	cfg.Checkpoints = store
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.ResumeSession("ghost"); !errors.Is(err, checkpoint.ErrNoState) {
+		t.Fatalf("ResumeSession = %v, want ErrNoState", err)
+	}
+	if _, ok := m.Get("ghost"); ok {
+		t.Fatal("failed resume registered a session")
+	}
+}
+
+// TestCheckpointUnconfigured: both seams fail cleanly without a store.
+func TestCheckpointUnconfigured(t *testing.T) {
+	m, err := NewManager(gpsSessionConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	s, err := m.GetOrCreate("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkpoint(); !errors.Is(err, ErrNoCheckpoints) {
+		t.Fatalf("Checkpoint = %v, want ErrNoCheckpoints", err)
+	}
+	if _, err := m.ResumeSession("carol"); !errors.Is(err, ErrNoCheckpoints) {
+		t.Fatalf("ResumeSession = %v, want ErrNoCheckpoints", err)
+	}
+}
+
+// TestSoakCrashRecovery is the crash-recovery soak: a supervised fusion
+// session under a scripted chaos outage checkpoints periodically; the
+// process "dies" (no graceful eviction — the durable trail is the
+// periodic records plus a torn write at the journal tail), and a fresh
+// manager over the same directory resumes the target with position
+// continuity inside the filter's convergence bounds and a monotonic
+// logical timeline.
+func TestSoakCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	b := building.Evaluation()
+	n := wifi.DefaultDeployment(b)
+	db := wifi.Survey(n, 0, wifi.SurveyConfig{Seed: 1, GridStep: 4})
+	bp, err := catalog.FusionBlueprint(catalog.Deps{Building: b, Database: db}, filter.Config{Particles: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.CorridorWalk(b, 11, 60, time.Second)
+
+	var wifiChaos *chaos.Source
+	mkCfg := func(store *checkpoint.Store) SessionConfig {
+		return SessionConfig{
+			Blueprint: bp,
+			Overrides: func(sessionID string) []core.InstantiateOption {
+				return []core.InstantiateOption{
+					core.WithComponentOverride("gps", func(id string) core.Component {
+						return gps.NewReceiver(id, tr, gps.Config{Seed: 21, ColdStart: time.Second})
+					}),
+					core.WithComponentOverride("wifi", func(id string) core.Component {
+						wifiChaos = chaos.WrapSource(wifi.NewSensor(id, n, tr, time.Second, 31))
+						return wifiChaos
+					}),
+				}
+			},
+			Provider: positioning.ProviderInfo{Technology: "fusion", TypicalAccuracy: 3},
+			History:  16,
+			Health: &health.Policy{
+				MaxConsecutiveErrors: 2,
+				Deadlines:            map[string]time.Duration{"wifi": 200 * time.Millisecond},
+				RecoveryEmissions:    1,
+				ProbeInterval:        10 * time.Millisecond,
+				Sweep:                5 * time.Millisecond,
+				Restart:              core.RestartPolicy{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond},
+			},
+			Reroutes:        catalog.FusionDegradation(),
+			Checkpoints:     store,
+			CheckpointEvery: 25 * time.Millisecond,
+		}
+	}
+
+	store1, err := checkpoint.Open(dir, checkpoint.Options{SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := NewManager(mkCfg(store1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := m1.GetOrCreate("soak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Int64
+	s1.Provider().Subscribe(func(positioning.Position) { delivered.Add(1) })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := s1.Start(ctx, core.WithSourceInterval(5*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scripted outage: the WiFi branch dies mid-run and heals later —
+	// the declarative form of the chaos scenario.
+	script := chaos.Schedule{Steps: []chaos.Step{
+		{At: 50 * time.Millisecond, Action: chaos.ActionKill, Target: "wifi"},
+		{At: 150 * time.Millisecond, Action: chaos.ActionHeal, Target: "wifi"},
+	}}
+	scriptDone := script.Start(ctx, map[string]chaos.Controllable{"wifi": wifiChaos})
+
+	waitFor(t, 10*time.Second, "positions before the crash", func() bool {
+		return delivered.Load() >= 5
+	})
+	if err := <-scriptDone; err != nil {
+		t.Fatalf("chaos script: %v", err)
+	}
+	waitFor(t, 10*time.Second, "recovery after the scripted outage", func() bool {
+		return s1.Provider().Availability() == positioning.Available
+	})
+	// Periodic checkpoints must have landed by now.
+	waitFor(t, 10*time.Second, "periodic checkpoints on disk", func() bool {
+		st, err := store1.Load("soak")
+		return err == nil && st.Seq >= 2
+	})
+	// One explicit checkpoint pins a healthy post-recovery state as the
+	// newest record, then the "crash": stop without eviction, so nothing
+	// newer is ever written — exactly what a killed process leaves.
+	if _, err := s1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := store1.Load("soak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	_ = s1.Stop()
+	store1.Close()
+
+	// The kill also tore a frame mid-write at the journal tail.
+	f, err := os.OpenFile(filepath.Join(dir, "soak.journal"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xC5, 0x9E, 0x40, 0x00, 0x00, 0x00, 0xDE, 0xAD}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The checkpointed particle population is the recovery target: the
+	// resumed stream must re-converge around it.
+	var pfState struct {
+		Particles []filter.Particle `json:"particles"`
+	}
+	for _, node := range ckpt.Graph.Nodes {
+		if node.ID == "particle-filter" {
+			if err := json.Unmarshal(node.Component, &pfState); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(pfState.Particles) == 0 {
+		t.Fatal("checkpoint carries no particle population")
+	}
+	var mean geo.ENU
+	for _, p := range pfState.Particles {
+		mean.East += p.W * p.Pos.East
+		mean.North += p.W * p.Pos.North
+	}
+
+	// Restart: fresh store, fresh manager, same directory.
+	store2, err := checkpoint.Open(dir, checkpoint.Options{SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	m2, err := NewManager(mkCfg(store2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+
+	s2, err := m2.ResumeSession("soak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Provider().Availability(); got != positioning.Available {
+		t.Fatalf("resumed availability = %v, want Available (the checkpointed state)", got)
+	}
+	pfNode, _ := s2.Graph().Node("particle-filter")
+	resumedClock := pfNode.Clock()
+	if resumedClock == 0 {
+		t.Fatal("resumed logical clock is zero — state did not carry over")
+	}
+
+	var delivered2 atomic.Int64
+	var firstResumed atomic.Pointer[positioning.Position]
+	s2.Provider().Subscribe(func(p positioning.Position) {
+		firstResumed.CompareAndSwap(nil, &p)
+		delivered2.Add(1)
+	})
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	if err := s2.Start(ctx2, core.WithSourceInterval(5*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "positions after the resume", func() bool {
+		return delivered2.Load() >= 3
+	})
+	_ = s2.Stop()
+
+	// Position continuity: the first post-resume estimate stays within
+	// the filter's convergence bounds of the checkpointed population
+	// (not back at the start of the walk, not re-acquiring from scratch).
+	first := firstResumed.Load()
+	if first == nil {
+		t.Fatal("no resumed position recorded")
+	}
+	if d := first.Local.Distance(mean); d > 20 {
+		t.Errorf("first resumed estimate %.1f m from checkpointed population mean, want <= 20 m", d)
+	}
+	// Logical time is monotonic across the crash.
+	if pfNode.Clock() <= resumedClock {
+		t.Errorf("particle-filter clock after resumed run = %d, want > %d (monotonic)", pfNode.Clock(), resumedClock)
+	}
+}

@@ -120,9 +120,11 @@ func (m *Manager) GetOrCreate(id string) (*Session, error) {
 	return s, nil
 }
 
-// Evict removes and closes the target's session. The close and the
-// onEvict callback run outside the shard lock. It reports whether a
-// session existed.
+// Evict removes and closes the target's session, checkpointing its
+// final state first when a checkpoint store is configured (so the
+// target is resumable later via ResumeSession). The checkpoint, the
+// close and the onEvict callback run outside the shard lock. It reports
+// whether a session existed.
 func (m *Manager) Evict(id string) bool {
 	sh := m.shardFor(id)
 	sh.mu.Lock()
@@ -134,11 +136,22 @@ func (m *Manager) Evict(id string) bool {
 	if !ok {
 		return false
 	}
+	m.retire(s)
+	return true
+}
+
+// retire checkpoints (best effort) and closes an already-deregistered
+// session, then fires onEvict. Runs outside all manager locks.
+func (m *Manager) retire(s *Session) {
+	if m.cfg.Checkpoints != nil {
+		// Best effort: a failed final checkpoint must not block eviction,
+		// and the previous periodic record (if any) remains recoverable.
+		_, _ = s.checkpointFinal()
+	}
 	s.close()
 	if m.onEvict != nil {
 		m.onEvict(s)
 	}
-	return true
 }
 
 // EvictIdle removes and closes every session idle for at least the
@@ -158,10 +171,7 @@ func (m *Manager) EvictIdle(olderThan time.Duration) int {
 		sh.mu.Unlock()
 	}
 	for _, s := range victims {
-		s.close()
-		if m.onEvict != nil {
-			m.onEvict(s)
-		}
+		m.retire(s)
 	}
 	return len(victims)
 }

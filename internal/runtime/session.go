@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"perpos/internal/channel"
+	"perpos/internal/checkpoint"
 	"perpos/internal/core"
 	"perpos/internal/health"
 	"perpos/internal/positioning"
@@ -29,6 +30,9 @@ var (
 	ErrStarted = errors.New("runtime: session already started")
 	// ErrNoBlueprint indicates a manager configured without a blueprint.
 	ErrNoBlueprint = errors.New("runtime: config needs a blueprint")
+	// ErrNoCheckpoints indicates a checkpoint operation on a manager or
+	// session configured without a checkpoint store.
+	ErrNoCheckpoints = errors.New("runtime: checkpointing not configured")
 )
 
 // SessionConfig describes how the manager turns the shared blueprint
@@ -65,6 +69,14 @@ type SessionConfig struct {
 	// the session's own PSL graph when a watched node trips its breaker
 	// (requires Health).
 	Reroutes []health.Reroute
+	// Checkpoints enables durable session state: evict-time and manual
+	// checkpoints are appended to this store, and Manager.ResumeSession
+	// rehydrates sessions from it. Nil disables checkpointing.
+	Checkpoints *checkpoint.Store
+	// CheckpointEvery additionally checkpoints running (async) sessions
+	// on this period; 0 disables the ticker (evict-time and manual
+	// checkpoints still happen).
+	CheckpointEvery time.Duration
 }
 
 // Session is one target's live pipeline: a private graph instantiated
@@ -83,6 +95,9 @@ type Session struct {
 	supervisor *health.Supervisor
 	tapCancel  func()
 
+	store     *checkpoint.Store
+	ckptEvery time.Duration
+
 	// runMu serialises propagation (Run/Step/async runner lifecycle)
 	// against supervisor-applied graph edits. Lock order: runMu → mu.
 	runMu      sync.Mutex
@@ -91,6 +106,7 @@ type Session struct {
 
 	mu       sync.Mutex
 	runner   *core.Runner
+	ckptStop chan struct{}
 	lastUsed time.Time
 	closed   bool
 }
@@ -98,10 +114,12 @@ type Session struct {
 // newSession instantiates the blueprint into a fresh session.
 func newSession(id string, cfg SessionConfig, clock func() time.Time) (*Session, error) {
 	s := &Session{
-		id:       id,
-		sinkID:   cfg.SinkID,
-		inboxCap: cfg.InboxCapacity,
-		clock:    clock,
+		id:        id,
+		sinkID:    cfg.SinkID,
+		inboxCap:  cfg.InboxCapacity,
+		clock:     clock,
+		store:     cfg.Checkpoints,
+		ckptEvery: cfg.CheckpointEvery,
 	}
 	if s.sinkID == "" {
 		s.sinkID = "app"
@@ -308,6 +326,11 @@ func (s *Session) Start(ctx context.Context, opts ...core.RunnerOption) error {
 	if s.supervisor != nil {
 		s.supervisor.Start(ctx)
 	}
+	if s.store != nil && s.ckptEvery > 0 {
+		stop := make(chan struct{})
+		s.ckptStop = stop
+		go s.checkpointLoop(stop)
+	}
 	return nil
 }
 
@@ -322,7 +345,8 @@ func (s *Session) WaitSources() {
 	}
 }
 
-// Stop halts the session's supervisor and async runner.
+// Stop halts the session's supervisor, checkpoint ticker and async
+// runner.
 func (s *Session) Stop() error {
 	if s.supervisor != nil {
 		s.supervisor.Stop()
@@ -330,6 +354,7 @@ func (s *Session) Stop() error {
 	s.mu.Lock()
 	r := s.runner
 	s.runner = nil
+	s.stopCheckpointLoopLocked()
 	s.mu.Unlock()
 	if r == nil {
 		return nil
@@ -369,6 +394,7 @@ func (s *Session) close() {
 	s.closed = true
 	r := s.runner
 	s.runner = nil
+	s.stopCheckpointLoopLocked()
 	s.mu.Unlock()
 	if r != nil {
 		_ = r.Stop()

@@ -1,0 +1,29 @@
+package trace
+
+import (
+	"encoding/json"
+
+	"perpos/internal/core"
+)
+
+var _ core.StateAccess = (*Emulator)(nil)
+
+type emulatorState struct {
+	Next int `json:"next"`
+}
+
+// MarshalState implements core.StateAccess: the replay position, so a
+// restored emulator continues mid-recording.
+func (e *Emulator) MarshalState() ([]byte, error) {
+	return json.Marshal(emulatorState{Next: e.next})
+}
+
+// UnmarshalState implements core.StateAccess.
+func (e *Emulator) UnmarshalState(data []byte) error {
+	var st emulatorState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	e.next = st.Next
+	return nil
+}

@@ -22,10 +22,12 @@ type Sensor struct {
 	network *Network
 	tr      *trace.Trace
 	rng     *rand.Rand
+	seed    int64
 	period  time.Duration
 
-	now time.Time
-	end time.Time
+	now     time.Time
+	end     time.Time
+	stepped int
 }
 
 var _ core.Producer = (*Sensor)(nil)
@@ -41,6 +43,7 @@ func NewSensor(id string, network *Network, tr *trace.Trace, period time.Duratio
 		network: network,
 		tr:      tr,
 		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
 		period:  period,
 	}
 	if tr.Len() > 0 {
@@ -73,6 +76,7 @@ func (s *Sensor) Step(emit core.Emit) (bool, error) {
 	scan := s.network.ScanAt(truth.Local, 0, s.now, s.rng)
 	emit(core.NewSample(KindScan, scan, s.now))
 	s.now = s.now.Add(s.period)
+	s.stepped++
 	return !s.now.After(s.end), nil
 }
 

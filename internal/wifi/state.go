@@ -1,0 +1,61 @@
+package wifi
+
+import (
+	"encoding/json"
+	"math/rand"
+	"time"
+
+	"perpos/internal/core"
+)
+
+// StateAccess implementations for the WiFi pipeline.
+
+var (
+	_ core.StateAccess = (*Sensor)(nil)
+	_ core.StateAccess = (*Engine)(nil)
+)
+
+type sensorState struct {
+	Now     time.Time `json:"now"`
+	Stepped int       `json:"stepped"`
+}
+
+// MarshalState implements core.StateAccess: the scan clock, so a
+// restored sensor continues mid-trace.
+func (s *Sensor) MarshalState() ([]byte, error) {
+	return json.Marshal(sensorState{Now: s.now, Stepped: s.stepped})
+}
+
+// UnmarshalState implements core.StateAccess. The RSSI-noise RNG is
+// reseeded deterministically from (seed, stepped) — see the note on the
+// filter package's resumed RNGs.
+func (s *Sensor) UnmarshalState(data []byte) error {
+	var st sensorState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	s.now = st.Now
+	s.stepped = st.Stepped
+	const mix = 0x5851F42D4C957F2D // odd 63-bit mixing constant
+	s.rng = rand.New(rand.NewSource(s.seed ^ (int64(st.Stepped)+1)*mix))
+	return nil
+}
+
+type engineState struct {
+	Located int `json:"located"`
+}
+
+// MarshalState implements core.StateAccess.
+func (e *Engine) MarshalState() ([]byte, error) {
+	return json.Marshal(engineState{Located: e.located})
+}
+
+// UnmarshalState implements core.StateAccess.
+func (e *Engine) UnmarshalState(data []byte) error {
+	var st engineState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	e.located = st.Located
+	return nil
+}
