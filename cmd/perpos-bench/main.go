@@ -10,13 +10,24 @@
 //	perpos-bench -e E5 -series
 //	perpos-bench -list
 //	perpos-bench -json bench.json   # also write per-experiment timings
+//
+// It is also the CI regression gate over those timing files:
+//
+//	perpos-bench -gobench bench.txt -json new.json
+//	                        # convert `go test -bench` output to timings
+//	perpos-bench -compare old.json new.json -tol 10%
+//	                        # fail (exit 1) when any timing in old.json
+//	                        # regressed beyond the tolerance in new.json
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,8 +47,36 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	series := fs.Bool("series", false, "emit plot series where supported (E5)")
 	jsonPath := fs.String("json", "", "write per-experiment timings (ns/op, samples/s) to this file")
+	compare := fs.Bool("compare", false, "compare two timing JSON files (old new) and fail on regressions beyond -tol")
+	tol := fs.String("tol", "10%", "allowed regression for -compare, as a percentage (10%) or fraction (0.1)")
+	gobench := fs.String("gobench", "", "convert `go test -bench` output (a file, or - for stdin) to timing JSON instead of running experiments")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// The flag package stops at the first positional, but -compare takes
+	// two file operands followed (possibly) by -tol: keep re-parsing the
+	// remainder so flags and operands interleave freely.
+	var operands []string
+	for rest := fs.Args(); len(rest) > 0; {
+		if strings.HasPrefix(rest[0], "-") {
+			if err := fs.Parse(rest); err != nil {
+				return err
+			}
+			rest = fs.Args()
+			continue
+		}
+		operands = append(operands, rest[0])
+		rest = rest[1:]
+	}
+
+	if *compare {
+		if len(operands) != 2 {
+			return fmt.Errorf("-compare needs exactly two timing files (old new), got %d", len(operands))
+		}
+		return compareTimings(operands[0], operands[1], *tol)
+	}
+	if *gobench != "" {
+		return convertGoBench(*gobench, *jsonPath)
 	}
 
 	if *list {
@@ -99,4 +138,183 @@ type timing struct {
 	NsOp          int64   `json:"ns_op"`
 	Samples       int     `json:"samples,omitempty"`
 	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
+}
+
+// convertGoBench parses `go test -bench` output into the same timing
+// JSON the experiment runner emits, so one -compare gate covers both.
+func convertGoBench(path, jsonPath string) error {
+	r := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	timings, err := parseGoBench(r)
+	if err != nil {
+		return err
+	}
+	if len(timings) == 0 {
+		return fmt.Errorf("no Benchmark lines in %s", path)
+	}
+	data, err := json.MarshalIndent(timings, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if jsonPath == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d timings to %s\n", len(timings), jsonPath)
+	return nil
+}
+
+// parseGoBench reads benchmark result lines ("BenchmarkX-8  1  42 ns/op
+// 10.5 samples/s ..."), keeping ns/op and the samples/s custom metric.
+// The -<GOMAXPROCS> suffix is stripped so IDs are machine-independent.
+func parseGoBench(r io.Reader) ([]timing, error) {
+	var out []timing
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		t := timing{ID: stripProcSuffix(fields[0]), Title: "go test -bench"}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				t.NsOp = int64(val)
+			case "samples/s":
+				t.SamplesPerSec = val
+			}
+		}
+		if t.NsOp == 0 && t.SamplesPerSec == 0 {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out, sc.Err()
+}
+
+// stripProcSuffix removes go test's trailing -<GOMAXPROCS> from a
+// benchmark name.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compareTimings is the regression gate: every timing in the old
+// (baseline) file must still be present in the new file and must not
+// have regressed beyond the tolerance. Throughput entries (samples/s,
+// higher is better) are preferred over wall-clock (ns/op, lower is
+// better) when both files carry them. Extra entries in the new file —
+// freshly added benchmarks — are ignored.
+func compareTimings(oldPath, newPath, tolSpec string) error {
+	tolerance, err := parseTolerance(tolSpec)
+	if err != nil {
+		return err
+	}
+	baseline, err := readTimings(oldPath)
+	if err != nil {
+		return err
+	}
+	current, err := readTimings(newPath)
+	if err != nil {
+		return err
+	}
+	byID := make(map[string]timing, len(current))
+	for _, t := range current {
+		byID[t.ID] = t
+	}
+
+	var regressions []string
+	for _, o := range baseline {
+		n, ok := byID[o.ID]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from %s", o.ID, newPath))
+			fmt.Printf("%-52s MISSING\n", o.ID)
+			continue
+		}
+		metric, oldV, newV, higherBetter := pickMetric(o, n)
+		if metric == "" {
+			regressions = append(regressions, fmt.Sprintf("%s: no comparable metric", o.ID))
+			fmt.Printf("%-52s NO METRIC\n", o.ID)
+			continue
+		}
+		delta := (newV - oldV) / oldV
+		bad := (higherBetter && delta < -tolerance) || (!higherBetter && delta > tolerance)
+		status := "ok"
+		if bad {
+			status = "REGRESSED"
+			regressions = append(regressions, fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%, tolerance %.0f%%)",
+				o.ID, metric, oldV, newV, delta*100, tolerance*100))
+		}
+		fmt.Printf("%-52s %-12s old=%-12.4g new=%-12.4g %+6.1f%%  %s\n",
+			o.ID, metric, oldV, newV, delta*100, status)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d regression(s):\n  %s", len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("all %d timings within %.0f%% of %s\n", len(baseline), tolerance*100, oldPath)
+	return nil
+}
+
+// pickMetric chooses the comparison metric for a baseline/current pair.
+func pickMetric(o, n timing) (metric string, oldV, newV float64, higherBetter bool) {
+	if o.SamplesPerSec > 0 && n.SamplesPerSec > 0 {
+		return "samples/s", o.SamplesPerSec, n.SamplesPerSec, true
+	}
+	if o.NsOp > 0 && n.NsOp > 0 {
+		return "ns/op", float64(o.NsOp), float64(n.NsOp), false
+	}
+	return "", 0, 0, false
+}
+
+// parseTolerance accepts "10%" or "0.1".
+func parseTolerance(spec string) (float64, error) {
+	s := strings.TrimSuffix(spec, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad tolerance %q: %w", spec, err)
+	}
+	if s != spec {
+		v /= 100
+	}
+	if v < 0 || v >= 1 {
+		return 0, fmt.Errorf("tolerance %q out of range [0%%, 100%%)", spec)
+	}
+	return v, nil
+}
+
+// readTimings loads a timing JSON file written by -json or -gobench.
+func readTimings(path string) ([]timing, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []timing
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no timings", path)
+	}
+	return out, nil
 }

@@ -10,6 +10,8 @@
 //	perpos-inspect -layer psl   # one layer only (psl|pcl|pl)
 //	perpos-inspect -map         # ASCII map of the WiFi deployment [2]
 //	perpos-inspect -dot         # Graphviz DOT of the pipeline
+//	perpos-inspect -trace       # replay briefly with Trace features and
+//	                            # print each channel's end-to-end trace
 package main
 
 import (
@@ -19,8 +21,11 @@ import (
 	"strings"
 
 	"perpos/internal/building"
+	"perpos/internal/channel"
+	"perpos/internal/core"
 	"perpos/internal/eval"
 	"perpos/internal/filter"
+	"perpos/internal/obs"
 	"perpos/internal/viz"
 	"perpos/internal/wifi"
 )
@@ -37,6 +42,7 @@ func run(args []string) error {
 	layerFlag := fs.String("layer", "all", "layer to show: psl, pcl, pl or all")
 	mapFlag := fs.Bool("map", false, "render the WiFi infrastructure map instead")
 	dotFlag := fs.Bool("dot", false, "emit the pipeline as Graphviz DOT instead")
+	traceFlag := fs.Bool("trace", false, "replay briefly with Trace features attached and print each channel's end-to-end trace instead")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +58,9 @@ func run(args []string) error {
 
 	if *dotFlag {
 		return g.WriteDOT(os.Stdout, "perpos")
+	}
+	if *traceFlag {
+		return printTraces(g, layer)
 	}
 
 	show := strings.ToLower(*layerFlag)
@@ -111,6 +120,40 @@ func run(args []string) error {
 		return fmt.Errorf("unknown layer %q", show)
 	}
 	fmt.Print(out.String())
+	return nil
+}
+
+// printTraces is the translucent-tracing view: every component gets a
+// Trace feature (span stamps on each emission), every channel a
+// ChannelTrace feature (retaining its last delivery's data tree), the
+// pipeline replays a few steps, and each channel's tree is printed as
+// an indented end-to-end trace — where each delivered datum spent its
+// wall-clock time, organised by the logical time the PSL already
+// maintains.
+func printTraces(g *core.Graph, layer *channel.Layer) error {
+	if err := obs.InstrumentGraph(g); err != nil {
+		return err
+	}
+	channels := layer.Channels()
+	traces := make(map[string]*obs.ChannelTrace, len(channels))
+	for _, c := range channels {
+		ct := obs.NewChannelTrace()
+		if err := c.AttachFeature(ct); err != nil {
+			return err
+		}
+		traces[c.ID()] = ct
+	}
+	if _, err := g.Run(40); err != nil {
+		return err
+	}
+	fmt.Println("=== end-to-end traces (last delivery per channel) ===")
+	for _, c := range channels {
+		fmt.Printf("channel %s\n", c.ID())
+		t, _ := traces[c.ID()].Last()
+		for _, line := range strings.Split(strings.TrimRight(obs.FormatTrace(t), "\n"), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
 	return nil
 }
 

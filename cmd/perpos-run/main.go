@@ -19,6 +19,10 @@
 //	perpos-run -chaos -checkpoint-dir /tmp/perpos-ckpt
 //	                                # checkpoint the session durably, then
 //	                                # evict and resume it from disk
+//	perpos-run -targets 25 -metrics-addr :8080
+//	                                # serve /metrics (JSON) + /debug/pprof
+//	                                # while the workload runs; the final
+//	                                # snapshot is echoed on exit
 //
 // Configurations (see internal/config) may reference two pre-built
 // instances: "gps" (a receiver on a commute trace) and "app" (a
@@ -31,6 +35,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -46,6 +52,7 @@ import (
 	"perpos/internal/filter"
 	"perpos/internal/gps"
 	"perpos/internal/health"
+	"perpos/internal/obs"
 	"perpos/internal/positioning"
 	"perpos/internal/runtime"
 	"perpos/internal/trace"
@@ -69,18 +76,35 @@ func run(args []string) error {
 	chaosDemo := fs.Bool("chaos", false, "run a supervised fusion session through an injected WiFi outage")
 	chaosScript := fs.String("chaos-script", "", "pipeline JSON whose chaos block drives the -chaos fault script (default: built-in kill/heal)")
 	checkpointDir := fs.String("checkpoint-dir", "", "directory for durable session checkpoints; with -chaos the session is evicted and resumed from it")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (JSON) and /debug/pprof on this address while running (\":0\" picks a free port); with -targets or -chaos the session runtime reports into it")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// The metrics listener outlives the workload: the final snapshot is
+	// scraped from our own endpoint — the same bytes an operator's curl
+	// would see — before the deferred Close releases the port (defers run
+	// LIFO, so the dump precedes the shutdown).
+	var hub *obs.Metrics
+	if *metricsAddr != "" {
+		hub = obs.New()
+		srv, err := obs.Serve(*metricsAddr, hub)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		defer dumpMetrics(srv.Addr())
+		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr())
 	}
 
 	if *configPath != "" {
 		return runConfigured(*configPath, *seed, *maxLines)
 	}
 	if *targets > 0 {
-		return runTargets(*targets, *seed)
+		return runTargets(*targets, *seed, hub)
 	}
 	if *chaosDemo {
-		return runChaos(*seed, *checkpointDir, *chaosScript)
+		return runChaos(*seed, *checkpointDir, *chaosScript, hub)
 	}
 
 	switch *pipeline {
@@ -93,6 +117,20 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown pipeline %q", *pipeline)
 	}
+}
+
+// dumpMetrics scrapes the process's own /metrics endpoint and echoes
+// the JSON snapshot to stdout — the state an operator's last curl
+// would have seen.
+func dumpMetrics(addr string) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perpos-run: metrics scrape:", err)
+		return
+	}
+	defer resp.Body.Close()
+	fmt.Println("=== final /metrics snapshot ===")
+	_, _ = io.Copy(os.Stdout, resp.Body)
 }
 
 // runConfigured builds and runs a declarative pipeline definition.
@@ -160,8 +198,10 @@ func runConfigured(path string, seed int64, maxLines int) error {
 // positioning manager, each backed by its own pipeline session
 // instantiated from ONE shared Fig. 2 fusion blueprint (building model
 // and WiFi database shared, sensors and sink per target), replayed
-// concurrently and summarised deterministically.
-func runTargets(n int, seed int64) error {
+// concurrently and summarised deterministically. A non-nil hub gets
+// the full runtime observability wiring (lifecycle gauges, emission
+// taps, tree depths).
+func runTargets(n int, seed int64, hub *obs.Metrics) error {
 	b := building.Evaluation()
 	network := wifi.DefaultDeployment(b)
 	db := wifi.Survey(network, 0, wifi.SurveyConfig{Seed: seed + 1})
@@ -173,9 +213,10 @@ func runTargets(n int, seed int64) error {
 	}
 
 	rt, err := runtime.NewManager(runtime.SessionConfig{
-		Blueprint: bp,
-		Provider:  positioning.ProviderInfo{Technology: "fused", TypicalAccuracy: 4},
-		History:   64,
+		Blueprint:     bp,
+		Provider:      positioning.ProviderInfo{Technology: "fused", TypicalAccuracy: 4},
+		History:       64,
+		Observability: hub,
 		Overrides: func(sessionID string) []core.InstantiateOption {
 			var i int64
 			fmt.Sscanf(sessionID, "target-%d", &i)
@@ -265,8 +306,9 @@ func runTargets(n int, seed int64) error {
 // fault script comes from a pipeline definition's chaos block when
 // scriptPath is set; with ckptDir the session also checkpoints durably
 // and is evicted and resumed from disk at the end — the crash-recovery
-// path exercised interactively.
-func runChaos(seed int64, ckptDir, scriptPath string) error {
+// path exercised interactively. A non-nil hub additionally collects
+// runtime metrics, including checkpoint write accounting.
+func runChaos(seed int64, ckptDir, scriptPath string, hub *obs.Metrics) error {
 	script := chaos.Schedule{Steps: []chaos.Step{
 		{At: 0, Action: chaos.ActionKill, Target: "wifi"},
 		{At: 400 * time.Millisecond, Action: chaos.ActionHeal, Target: "wifi"},
@@ -301,7 +343,11 @@ func runChaos(seed int64, ckptDir, scriptPath string) error {
 
 	var store *checkpoint.Store
 	if ckptDir != "" {
-		store, err = checkpoint.Open(ckptDir, checkpoint.Options{})
+		var storeOpts checkpoint.Options
+		if hub != nil {
+			storeOpts.OnAppend = hub.CheckpointAppend
+		}
+		store, err = checkpoint.Open(ckptDir, storeOpts)
 		if err != nil {
 			return err
 		}
@@ -310,9 +356,10 @@ func runChaos(seed int64, ckptDir, scriptPath string) error {
 
 	var wifiChaos *chaos.Source
 	m, err := runtime.NewManager(runtime.SessionConfig{
-		Blueprint: bp,
-		Provider:  positioning.ProviderInfo{Technology: "fused", TypicalAccuracy: 4},
-		History:   32,
+		Blueprint:     bp,
+		Provider:      positioning.ProviderInfo{Technology: "fused", TypicalAccuracy: 4},
+		History:       32,
+		Observability: hub,
 		Overrides: func(string) []core.InstantiateOption {
 			return []core.InstantiateOption{
 				core.WithComponentOverride("gps", func(cid string) core.Component {

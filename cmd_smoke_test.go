@@ -63,11 +63,18 @@ func buildBinaries(t *testing.T) map[string]string {
 // runBin executes a built binary and returns its combined output.
 func runBin(t *testing.T, bin string, args ...string) string {
 	t.Helper()
-	out, err := exec.Command(bin, args...).CombinedOutput()
+	out, err := runBinErr(bin, args...)
 	if err != nil {
 		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
 	}
-	return string(out)
+	return out
+}
+
+// runBinErr is the variant for exercising failure exits (the benchmark
+// regression gate is SUPPOSED to exit non-zero on a regression).
+func runBinErr(bin string, args ...string) (string, error) {
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
 }
 
 func TestBinariesSmoke(t *testing.T) {
@@ -157,6 +164,123 @@ func TestBinariesSmoke(t *testing.T) {
 			if !strings.Contains(out, want) {
 				t.Errorf("checkpoint demo output missing %q:\n%s", want, out)
 			}
+		}
+	})
+
+	t.Run("perpos-run-metrics", func(t *testing.T) {
+		out := runBin(t, bins["perpos-run"], "-targets", "2", "-seed", "5",
+			"-metrics-addr", "127.0.0.1:0")
+		if !strings.Contains(out, "metrics: http://127.0.0.1:") {
+			t.Errorf("no metrics endpoint announced:\n%s", out)
+		}
+		// The final snapshot is the process's own /metrics scrape: the
+		// lifecycle counters must reflect the two-target replay and the
+		// hot-path instrumentation must have counted real traffic.
+		for _, want := range []string{
+			"=== final /metrics snapshot ===",
+			`"sessions_created": 2`,
+			`"sessions_evicted": 2`,
+			`"spans_emitted"`,
+			`"tree_depth"`,
+			`"gps"`,
+			`"particle-filter"`,
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("metrics snapshot missing %q:\n%s", want, out)
+			}
+		}
+		if strings.Contains(out, `"spans_emitted": 0,`) {
+			t.Errorf("metrics snapshot counted no spans despite a replayed workload:\n%s", out)
+		}
+	})
+
+	t.Run("perpos-inspect-trace", func(t *testing.T) {
+		out := runBin(t, bins["perpos-inspect"], "-trace")
+		for _, want := range []string{
+			"end-to-end traces",
+			"channel gps->particle-filter:0",
+			"channel particle-filter->app:0",
+			"logical=",
+			"process=",
+			"end-to-end:",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("trace output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("perpos-bench-gate", func(t *testing.T) {
+		dir := t.TempDir()
+		benchOut := filepath.Join(dir, "bench.txt")
+		if err := os.WriteFile(benchOut, []byte(
+			"goos: linux\n"+
+				"BenchmarkRuntimeSessions/sessions_10-8  1  300000000 ns/op  450.5 samples/s\n"+
+				"BenchmarkRoomAt/grid-8  20000  15.2 ns/op  0 B/op\n"+
+				"PASS\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		newJSON := filepath.Join(dir, "new.json")
+		runBin(t, bins["perpos-bench"], "-gobench", benchOut, "-json", newJSON)
+		data, err := os.ReadFile(newJSON)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The -<GOMAXPROCS> suffix must be stripped so baselines port
+		// across machines.
+		for _, want := range []string{
+			`"id": "BenchmarkRuntimeSessions/sessions_10"`,
+			`"id": "BenchmarkRoomAt/grid"`,
+			`"samples_per_sec": 450.5`,
+		} {
+			if !strings.Contains(string(data), want) {
+				t.Errorf("gobench JSON missing %q:\n%s", want, data)
+			}
+		}
+
+		// Within tolerance: gate passes.
+		baseline := filepath.Join(dir, "old.json")
+		if err := os.WriteFile(baseline, []byte(`[
+  {"id": "BenchmarkRuntimeSessions/sessions_10", "title": "", "ns_op": 310000000, "samples_per_sec": 470},
+  {"id": "BenchmarkRoomAt/grid", "title": "", "ns_op": 14}
+]`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out := runBin(t, bins["perpos-bench"], "-compare", baseline, newJSON, "-tol", "10%")
+		if !strings.Contains(out, "all 2 timings within 10%") {
+			t.Errorf("gate did not pass a within-tolerance comparison:\n%s", out)
+		}
+
+		// Injected 25% slowdown on both metrics: gate must fail.
+		slow := filepath.Join(dir, "slow.json")
+		if err := os.WriteFile(slow, []byte(`[
+  {"id": "BenchmarkRuntimeSessions/sessions_10", "title": "", "ns_op": 300000000, "samples_per_sec": 352},
+  {"id": "BenchmarkRoomAt/grid", "title": "", "ns_op": 19}
+]`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err = runBinErr(bins["perpos-bench"], "-compare", baseline, slow, "-tol", "10%")
+		if err == nil {
+			t.Fatalf("gate passed a 25%% slowdown:\n%s", out)
+		}
+		if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "2 regression(s)") {
+			t.Errorf("regression output missing diagnosis:\n%s", out)
+		}
+
+		// A benchmark that vanished from the new run is a failure too —
+		// deleting the regressing benchmark must not green the gate.
+		pruned := filepath.Join(dir, "pruned.json")
+		if err := os.WriteFile(pruned, []byte(`[
+  {"id": "BenchmarkRoomAt/grid", "title": "", "ns_op": 14}
+]`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err = runBinErr(bins["perpos-bench"], "-compare", baseline, pruned, "-tol", "10%")
+		if err == nil {
+			t.Fatalf("gate passed with a baseline benchmark missing from the new run:\n%s", out)
+		}
+		if !strings.Contains(out, "MISSING") {
+			t.Errorf("missing-benchmark output lacks diagnosis:\n%s", out)
 		}
 	})
 

@@ -22,6 +22,9 @@ type Layer struct {
 	// history holds recent samples per component for tree construction.
 	history map[string]*ring
 	keep    int
+	// onTree, when set, is invoked for every built data tree (after the
+	// layer lock is released, alongside feature delivery).
+	onTree func(c *Channel, t *DataTree)
 
 	cancelTap func()
 }
@@ -36,6 +39,17 @@ func WithHistory(n int) LayerOption {
 		if n > 0 {
 			l.keep = n
 		}
+	}
+}
+
+// WithTreeObserver registers fn to be called with every data tree the
+// layer builds, right after the channel's own features received it.
+// The callback runs outside the layer lock on the emitting goroutine,
+// so it must be cheap and safe for concurrent use — the intended
+// client is metrics (tree-depth histograms), not feature logic.
+func WithTreeObserver(fn func(c *Channel, t *DataTree)) LayerOption {
+	return func(l *Layer) {
+		l.onTree = fn
 	}
 }
 
@@ -174,6 +188,9 @@ func (l *Layer) observe(componentID string, s core.Sample) {
 	// call back into the layer or the graph.
 	for _, d := range deliveries {
 		d.c.deliver(d.tree)
+		if l.onTree != nil {
+			l.onTree(d.c, d.tree)
+		}
 	}
 }
 

@@ -1,0 +1,49 @@
+package channel
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWithTreeObserver checks that the layer invokes the observer for
+// every built data tree, alongside feature delivery, with the owning
+// channel attached.
+func TestWithTreeObserver(t *testing.T) {
+	g, _ := buildFig4Graph(t)
+
+	var mu sync.Mutex
+	var depths []int
+	var channels []string
+	l := NewLayer(g, WithTreeObserver(func(c *Channel, tree *DataTree) {
+		mu.Lock()
+		defer mu.Unlock()
+		depths = append(depths, tree.Depth())
+		channels = append(channels, c.ID())
+	}))
+	defer l.Close()
+
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(depths) == 0 {
+		t.Fatal("tree observer never invoked")
+	}
+	// The Fig. 4 delivery into the app has depth 3 (WGS84 <- NMEA <- raw).
+	max := 0
+	for _, d := range depths {
+		if d > max {
+			max = d
+		}
+	}
+	if max != 3 {
+		t.Errorf("max observed depth = %d, want 3", max)
+	}
+	for _, id := range channels {
+		if id == "" {
+			t.Error("observer received channel with empty ID")
+		}
+	}
+}

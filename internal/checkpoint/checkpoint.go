@@ -40,6 +40,11 @@ var (
 	ErrClosed = errors.New("checkpoint: store closed")
 	// ErrNoState indicates Load found no usable state for the session.
 	ErrNoState = errors.New("checkpoint: no state for session")
+	// ErrCompaction indicates an append landed durably in the journal
+	// (the returned seq is valid and recoverable) but promoting it into
+	// the snapshot file failed. Callers that only care about durability
+	// may treat it as a warning; it previously went unreported entirely.
+	ErrCompaction = errors.New("checkpoint: snapshot compaction failed")
 )
 
 // SessionState is one durable checkpoint of a session: everything
@@ -72,6 +77,12 @@ type Options struct {
 	// tail is skipped); Fsync additionally covers OS crashes at a heavy
 	// per-checkpoint cost.
 	Fsync bool
+	// OnAppend, when set, observes every Append: the session, the
+	// journal bytes written (0 when nothing reached the file), the
+	// wall-clock duration of the durable write, and its error. The
+	// signature matches obs.(*Metrics).CheckpointAppend so a metrics hub
+	// wires in directly. Called outside the journal lock.
+	OnAppend func(sessionID string, bytes int, d time.Duration, err error)
 }
 
 func (o Options) withDefaults() Options {
@@ -131,13 +142,23 @@ func (s *Store) journalFor(id string) (*journal, error) {
 // Append durably records one checkpoint for state.SessionID, assigning
 // and returning its sequence number. Every Options.SnapshotEvery
 // appends the journal is compacted: the newest state is rewritten
-// atomically into the snapshot file and the journal restarted.
+// atomically into the snapshot file and the journal restarted. An
+// error wrapping ErrCompaction means the record itself IS durable (the
+// returned seq is valid) but the snapshot promotion failed.
 func (s *Store) Append(state SessionState) (uint64, error) {
 	j, err := s.journalFor(state.SessionID)
 	if err != nil {
+		if s.opts.OnAppend != nil {
+			s.opts.OnAppend(state.SessionID, 0, 0, err)
+		}
 		return 0, err
 	}
-	return j.append(state, s.opts.SnapshotEvery)
+	start := time.Now()
+	seq, n, err := j.append(state, s.opts.SnapshotEvery)
+	if s.opts.OnAppend != nil {
+		s.opts.OnAppend(state.SessionID, n, time.Since(start), err)
+	}
+	return seq, err
 }
 
 // Load recovers the newest intact checkpoint for the session: the last

@@ -106,42 +106,47 @@ func (j *journal) recoverLocked() error {
 	return nil
 }
 
-// append writes one record, compacting every snapshotEvery appends.
-func (j *journal) append(state SessionState, snapshotEvery int) (uint64, error) {
+// append writes one record, compacting every snapshotEvery appends. It
+// returns the assigned sequence number and the number of journal bytes
+// written. A compaction failure after a successful append returns the
+// assigned seq together with an error wrapping ErrCompaction: the
+// record IS durable in the journal, only snapshot promotion failed.
+func (j *journal) append(state SessionState, snapshotEvery int) (uint64, int, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err := j.recoverLocked(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	state.Seq = j.nextSeq
 
 	payload, err := encodeRecord(state)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if j.f == nil {
 		f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			return 0, fmt.Errorf("checkpoint: open journal: %w", err)
+			return 0, 0, fmt.Errorf("checkpoint: open journal: %w", err)
 		}
 		j.f = f
 	}
 	if err := writeFrame(j.f, payload); err != nil {
-		return 0, fmt.Errorf("checkpoint: append: %w", err)
+		return 0, 0, fmt.Errorf("checkpoint: append: %w", err)
 	}
 	if j.fsync {
 		if err := j.f.Sync(); err != nil {
-			return 0, fmt.Errorf("checkpoint: sync journal: %w", err)
+			return 0, 0, fmt.Errorf("checkpoint: sync journal: %w", err)
 		}
 	}
+	written := frameHeaderLen + len(payload)
 	j.nextSeq++
 	j.appends++
 	if j.appends >= snapshotEvery {
-		if err := j.compactLocked(payload); err != nil {
-			return 0, err
+		if cerr := j.compactLocked(payload); cerr != nil {
+			return state.Seq, written, fmt.Errorf("%w: %w", ErrCompaction, cerr)
 		}
 	}
-	return state.Seq, nil
+	return state.Seq, written, nil
 }
 
 // compactLocked promotes the given (newest) record payload into the
@@ -154,13 +159,13 @@ func (j *journal) compactLocked(newest []byte) error {
 		return fmt.Errorf("checkpoint: snapshot: %w", err)
 	}
 	if err := writeFrame(f, newest); err != nil {
-		f.Close()
+		err = errors.Join(err, f.Close())
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint: snapshot: %w", err)
 	}
 	if j.fsync {
 		if err := f.Sync(); err != nil {
-			f.Close()
+			err = errors.Join(err, f.Close())
 			os.Remove(tmp)
 			return fmt.Errorf("checkpoint: sync snapshot: %w", err)
 		}
@@ -218,11 +223,13 @@ func (j *journal) loadLocked() (SessionState, error) {
 func (j *journal) remove() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	var errs []error
 	if j.f != nil {
-		j.f.Close()
+		if err := j.f.Close(); err != nil {
+			errs = append(errs, err)
+		}
 		j.f = nil
 	}
-	var errs []error
 	for _, p := range []string{j.path, j.snapPath} {
 		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
 			errs = append(errs, err)

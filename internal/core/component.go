@@ -165,3 +165,13 @@ type BindableFeature interface {
 	Feature
 	Bind(host FeatureHost)
 }
+
+// ClockedHost is an optional FeatureHost extension exposing the host
+// node's logical clock. A feature observing an emission from inside a
+// ProduceHook sees the clock BEFORE the engine stamps the sample, so
+// the emission being produced will carry Clock()+1 — the contract a
+// tracing feature relies on to stamp spans with the right logical time.
+type ClockedHost interface {
+	FeatureHost
+	Clock() LogicalTime
+}

@@ -323,9 +323,14 @@ type featureHost struct {
 	feature string
 }
 
-var _ FeatureHost = (*featureHost)(nil)
+var _ ClockedHost = (*featureHost)(nil)
 
 func (h *featureHost) Component() Component { return h.node.comp }
+
+// Clock implements ClockedHost. Reading the bare field is safe in the
+// contexts features run in: hooks execute on the node's processing
+// goroutine, where the clock is stable.
+func (h *featureHost) Clock() LogicalTime { return h.node.clock }
 
 func (h *featureHost) EmitFeatureData(s Sample) {
 	h.node.emit(s, h.feature)

@@ -24,6 +24,7 @@ type Runner struct {
 	inboxCap int
 	observer RunnerObserver
 	gate     DeliveryGate
+	timer    NodeTimer
 	restart  *RestartPolicy
 
 	mu      sync.Mutex
@@ -69,6 +70,15 @@ type RunnerObserver interface {
 // data is perishable, and a wedged component must not stall siblings.
 type DeliveryGate interface {
 	Allow(nodeID string) bool
+}
+
+// NodeTimer is an optional RunnerObserver extension: when the observer
+// implements it, the runner wall-clocks every component process and
+// source step and reports the duration alongside the outcome. The two
+// time.Now calls per message are only paid when a timer is installed;
+// a plain observer keeps the old cost.
+type NodeTimer interface {
+	NodeTimed(nodeID string, d time.Duration, err error)
 }
 
 // Restartable is implemented by source components that can recover
@@ -197,6 +207,9 @@ func (r *Runner) Start(ctx context.Context) error {
 		if g, ok := r.observer.(DeliveryGate); ok {
 			r.gate = g
 		}
+		if t, ok := r.observer.(NodeTimer); ok {
+			r.timer = t
+		}
 	}
 
 	done := make(chan struct{})
@@ -250,7 +263,14 @@ func (r *Runner) handle(n *Node, m message) {
 	if r.gate != nil && !r.gate.Allow(n.ID()) {
 		return
 	}
+	var start time.Time
+	if r.timer != nil {
+		start = time.Now()
+	}
 	err := n.process(m.port, m.s)
+	if r.timer != nil {
+		r.timer.NodeTimed(n.ID(), time.Since(start), err)
+	}
 	if err != nil {
 		r.g.noteError(err)
 	}
@@ -275,7 +295,14 @@ func (r *Runner) driveSource(ctx context.Context, n *Node) {
 			return
 		default:
 		}
+		var start time.Time
+		if r.timer != nil {
+			start = time.Now()
+		}
 		more, err := n.step()
+		if r.timer != nil {
+			r.timer.NodeTimed(n.ID(), time.Since(start), err)
+		}
 		if err != nil {
 			r.g.noteError(err)
 		}

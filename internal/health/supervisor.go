@@ -68,6 +68,7 @@ type Supervisor struct {
 	mu        sync.Mutex
 	engaged   map[int]int // group index → engaged reroute index
 	listeners []func(Event)
+	onReroute []func(engaged bool)
 	cancel    context.CancelFunc
 	done      chan struct{}
 }
@@ -109,6 +110,21 @@ func (s *Supervisor) OnEvent(fn func(Event)) {
 	}
 	s.mu.Lock()
 	s.listeners = append(s.listeners, fn)
+	s.mu.Unlock()
+}
+
+// OnReroute registers a listener for successful adaptation edits:
+// engaged is true when a rule was engaged or switched, false when the
+// pristine graph was restored. Unlike OnEvent it fires only when an
+// edit actually landed, making it the natural seam for counting
+// supervisor churn. Register before Start; callbacks run on the
+// supervisor goroutine (or the Sweep caller).
+func (s *Supervisor) OnReroute(fn func(engaged bool)) {
+	if fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.onReroute = append(s.onReroute, fn)
 	s.mu.Unlock()
 }
 
@@ -248,7 +264,12 @@ func (s *Supervisor) reconcile(events []Event) {
 		} else {
 			s.engaged[gi] = want
 		}
+		hooks := make([]func(bool), len(s.onReroute))
+		copy(hooks, s.onReroute)
 		s.mu.Unlock()
+		for _, fn := range hooks {
+			fn(want >= 0)
+		}
 	}
 }
 

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"perpos/internal/core"
+)
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.Sum != 500500 {
+		t.Errorf("sum = %d, want 500500", s.Sum)
+	}
+	if s.Max != 1000 {
+		t.Errorf("max = %d, want 1000", s.Max)
+	}
+	// Quantiles are log2-bucket upper bounds: within 2x above the true
+	// value, never below it.
+	if s.P50 < 500 || s.P50 > 1023 {
+		t.Errorf("p50 = %d, want in [500, 1023]", s.P50)
+	}
+	if s.P99 < 990 || s.P99 > 1023 {
+		t.Errorf("p99 = %d, want in [990, 1023]", s.P99)
+	}
+	if s.Mean < 500 || s.Mean > 501 {
+		t.Errorf("mean = %f, want ~500.5", s.Mean)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)          // clamped into bucket 0
+	h.Observe(0)           // bucket 0
+	h.Observe(1 << 62)     // overflow bucket
+	h.ObserveDuration(3e6) // 3ms in ns
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if s.Max != 1<<62 {
+		t.Errorf("max = %d, want 1<<62", s.Max)
+	}
+	if empty := new(Histogram).Snapshot(); empty.Count != 0 || empty.P50 != 0 {
+		t.Errorf("zero histogram snapshot = %+v, want zeros", empty)
+	}
+}
+
+func TestMetricsShardGauges(t *testing.T) {
+	m := New()
+	m.InitShards(4)
+	if g := m.ShardLive(2); g == nil {
+		t.Fatal("ShardLive(2) = nil inside range")
+	} else {
+		g.Inc()
+		g.Inc()
+	}
+	if g := m.ShardLive(7); g != nil {
+		t.Error("ShardLive(7) non-nil outside range")
+	}
+	if got := m.SessionsLive(); got != 2 {
+		t.Errorf("SessionsLive = %d, want 2", got)
+	}
+	m.InitShards(4) // idempotent: gauges must survive
+	if got := m.SessionsLive(); got != 2 {
+		t.Errorf("SessionsLive after re-init = %d, want 2", got)
+	}
+}
+
+func TestMetricsSnapshotShape(t *testing.T) {
+	m := New()
+	m.InitShards(2)
+	m.SpansEmitted.Add(3)
+	m.Node("gps").Emissions.Inc()
+	m.ProviderTransition("AVAILABLE")
+	m.ObserveTreeDepth(3)
+	m.CheckpointAppend("s", 128, time.Millisecond, nil)
+	m.CheckpointAppend("s", 0, 0, errors.New("boom"))
+
+	snap := m.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("snapshot not marshalable: %v", err)
+	}
+	for _, key := range []string{
+		`"spans_emitted":3`, `"sessions_live":0`, `"shard_live":[0,0]`,
+		`"provider_transitions":{"AVAILABLE":1}`, `"tree_depth"`, `"nodes"`,
+	} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("snapshot JSON missing %s:\n%s", key, data)
+		}
+	}
+	ck := snap["checkpoint"].(map[string]any)
+	if ck["writes"].(uint64) != 1 || ck["errors"].(uint64) != 1 || ck["bytes"].(uint64) != 128 {
+		t.Errorf("checkpoint block = %v, want writes=1 errors=1 bytes=128", ck)
+	}
+	if ids := m.NodeIDs(); len(ids) != 1 || ids[0] != "gps" {
+		t.Errorf("NodeIDs = %v, want [gps]", ids)
+	}
+}
+
+// gatedObserver is a RunnerObserver + DeliveryGate test double.
+type gatedObserver struct {
+	mu      sync.Mutex
+	refused string
+	results []string
+}
+
+func (g *gatedObserver) NodeResult(node string, err error) {
+	g.mu.Lock()
+	g.results = append(g.results, fmt.Sprintf("%s:%v", node, err != nil))
+	g.mu.Unlock()
+}
+func (g *gatedObserver) SourceExhausted(string)      {}
+func (g *gatedObserver) SourceRestarted(string, int) {}
+func (g *gatedObserver) Allow(node string) bool      { return node != g.refused }
+
+func TestGraphObserverSeams(t *testing.T) {
+	m := New()
+	inner := &gatedObserver{refused: "bad"}
+	o := NewGraphObserver(m, inner)
+
+	// Gate: refusals counted globally and per node, inner consulted.
+	if o.Allow("bad") {
+		t.Error("Allow(bad) = true, want inner refusal to pass through")
+	}
+	if !o.Allow("good") {
+		t.Error("Allow(good) = false")
+	}
+	if m.SpansDropped.Value() != 1 || m.Node("bad").Drops.Value() != 1 {
+		t.Errorf("drops global=%d node=%d, want 1/1",
+			m.SpansDropped.Value(), m.Node("bad").Drops.Value())
+	}
+
+	// Results: errors and contained panics counted; inner still sees all.
+	o.NodeResult("fuse", nil)
+	o.NodeResult("fuse", errors.New("plain"))
+	o.NodeResult("fuse", fmt.Errorf("wrapped: %w", core.ErrPanicked))
+	if got := m.Node("fuse").Errors.Value(); got != 2 {
+		t.Errorf("fuse errors = %d, want 2", got)
+	}
+	if got := m.Node("fuse").Panics.Value(); got != 1 {
+		t.Errorf("fuse panics = %d, want 1", got)
+	}
+	if len(inner.results) != 3 {
+		t.Errorf("inner saw %d results, want 3", len(inner.results))
+	}
+
+	o.SourceRestarted("gps", 2)
+	if got := m.Node("gps").Restarts.Value(); got != 1 {
+		t.Errorf("gps restarts = %d, want 1", got)
+	}
+
+	o.NodeTimed("fuse", 2*time.Millisecond, nil)
+	if got := m.Node("fuse").ProcessNs.Count(); got != 1 {
+		t.Errorf("fuse timings = %d, want 1", got)
+	}
+
+	// Tap counts emissions on any path.
+	o.Tap("gps", core.Sample{})
+	o.Tap("gps", core.Sample{})
+	if m.SpansEmitted.Value() != 2 || m.Node("gps").Emissions.Value() != 2 {
+		t.Errorf("emissions global=%d node=%d, want 2/2",
+			m.SpansEmitted.Value(), m.Node("gps").Emissions.Value())
+	}
+}
+
+func TestGraphObserverNilInner(t *testing.T) {
+	m := New()
+	o := NewGraphObserver(m, nil)
+	if !o.Allow("any") {
+		t.Error("Allow without inner gate must be open")
+	}
+	o.NodeResult("n", errors.New("x")) // must not panic
+	o.SourceExhausted("n")
+	o.SourceRestarted("n", 1)
+	if got := m.Node("n").Errors.Value(); got != 1 {
+		t.Errorf("errors = %d, want 1", got)
+	}
+}

@@ -1,0 +1,245 @@
+// Package obs is the observability subsystem: the translucency story
+// of the paper applied to the middleware's own runtime. Where the
+// PSL/PCL let a developer inspect the positioning PROCESS, obs lets an
+// operator inspect the positioning SYSTEM — per-node throughput and
+// process latency, channel data-tree depth, provider availability
+// churn, supervisor reroute counts, checkpoint cost — without stopping
+// it.
+//
+// The design point is cost: every hot-path hook is a handful of atomic
+// operations (see Counter/Gauge/Histogram in metrics.go); nothing in
+// this package takes a lock on an emission path. Hooks ride the seams
+// the engine already has — graph taps, core.RunnerObserver,
+// channel.WithTreeObserver, checkpoint.Options.OnAppend — so a session
+// without a Metrics hub pays nothing at all.
+//
+// Export is pull-based: Metrics.Snapshot marshals to the expvar-style
+// JSON served by Handler (http.go) next to net/http/pprof.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeMetrics aggregates one graph node's counters. Per-session graphs
+// share the hub, so a node ID like "gps" accumulates across every
+// session instantiated from the blueprint — the per-component view of
+// the whole process, not of one target.
+type NodeMetrics struct {
+	// Emissions counts samples the node emitted (graph tap).
+	Emissions Counter
+	// Errors counts failed process/step outcomes; Panics the subset
+	// that were contained panics.
+	Errors Counter
+	Panics Counter
+	// Drops counts deliveries the breaker's gate refused while the node
+	// was quarantined.
+	Drops Counter
+	// Restarts counts successful source restarts.
+	Restarts Counter
+	// ProcessNs is the wall-clock process/step latency distribution in
+	// nanoseconds (async runner only: the sync Step path has no timer).
+	ProcessNs Histogram
+}
+
+// nodeSnapshot is the JSON view of a NodeMetrics.
+type nodeSnapshot struct {
+	Emissions uint64            `json:"emissions"`
+	Errors    uint64            `json:"errors,omitempty"`
+	Panics    uint64            `json:"panics,omitempty"`
+	Drops     uint64            `json:"drops,omitempty"`
+	Restarts  uint64            `json:"restarts,omitempty"`
+	ProcessNs HistogramSnapshot `json:"process_ns"`
+}
+
+// Metrics is the hub: one per process (or per manager under test),
+// shared by every session, shard and store that reports into it. All
+// methods are safe for concurrent use. The zero value is NOT ready —
+// use New.
+type Metrics struct {
+	// SpansEmitted counts every stamped emission anywhere in the
+	// instrumented graphs (the tap); SpansDropped counts gate-refused
+	// deliveries.
+	SpansEmitted Counter
+	SpansDropped Counter
+
+	// Session-manager lifecycle.
+	SessionsCreated Counter
+	SessionsEvicted Counter
+	SessionsResumed Counter
+
+	// Supervisor reroute churn: engage covers both fresh engagements
+	// and rule switches; disengage is a full restore.
+	SupervisorEngaged    Counter
+	SupervisorDisengaged Counter
+
+	// Checkpoint write cost.
+	CheckpointWrites Counter
+	CheckpointErrors Counter
+	CheckpointBytes  Counter
+	CheckpointNs     Histogram
+
+	// TreeDepth is the distribution of channel data-tree depths (PCL).
+	TreeDepth Histogram
+
+	// shardLive is one live-session gauge per manager shard, sized by
+	// InitShards. The slice itself is written once before traffic.
+	shardMu   sync.Mutex
+	shardLive []*Gauge
+
+	// nodes maps node ID -> *NodeMetrics, populated on first touch.
+	nodes sync.Map
+
+	// providerTransitions maps availability-state name -> *Counter of
+	// transitions INTO that state.
+	providerTransitions sync.Map
+}
+
+// New returns an empty hub.
+func New() *Metrics { return &Metrics{} }
+
+// Node returns (creating on first use) the named node's metrics.
+func (m *Metrics) Node(id string) *NodeMetrics {
+	if v, ok := m.nodes.Load(id); ok {
+		return v.(*NodeMetrics)
+	}
+	v, _ := m.nodes.LoadOrStore(id, &NodeMetrics{})
+	return v.(*NodeMetrics)
+}
+
+// InitShards sizes the per-shard live-session gauges. Idempotent per
+// size; the manager calls it once at construction, before traffic.
+func (m *Metrics) InitShards(n int) {
+	m.shardMu.Lock()
+	defer m.shardMu.Unlock()
+	if len(m.shardLive) == n {
+		return
+	}
+	gauges := make([]*Gauge, n)
+	for i := range gauges {
+		gauges[i] = &Gauge{}
+	}
+	m.shardLive = gauges
+}
+
+// ShardLive returns shard i's live-session gauge, or nil when i is out
+// of the InitShards range.
+func (m *Metrics) ShardLive(i int) *Gauge {
+	m.shardMu.Lock()
+	defer m.shardMu.Unlock()
+	if i < 0 || i >= len(m.shardLive) {
+		return nil
+	}
+	return m.shardLive[i]
+}
+
+// SessionsLive sums the shard gauges.
+func (m *Metrics) SessionsLive() int64 {
+	m.shardMu.Lock()
+	defer m.shardMu.Unlock()
+	var n int64
+	for _, g := range m.shardLive {
+		n += g.Value()
+	}
+	return n
+}
+
+// ProviderTransition counts one availability transition into the named
+// JSR-179 state ("AVAILABLE", "TEMPORARILY_UNAVAILABLE", ...).
+func (m *Metrics) ProviderTransition(state string) {
+	if v, ok := m.providerTransitions.Load(state); ok {
+		v.(*Counter).Inc()
+		return
+	}
+	v, _ := m.providerTransitions.LoadOrStore(state, &Counter{})
+	v.(*Counter).Inc()
+}
+
+// ObserveTreeDepth records one channel data-tree depth.
+func (m *Metrics) ObserveTreeDepth(depth int) {
+	m.TreeDepth.Observe(int64(depth))
+}
+
+// CheckpointAppend records one durable append. Its signature matches
+// checkpoint.Options.OnAppend so callers wire the store directly:
+//
+//	checkpoint.Options{OnAppend: metrics.CheckpointAppend}
+func (m *Metrics) CheckpointAppend(_ string, bytes int, d time.Duration, err error) {
+	if err != nil {
+		m.CheckpointErrors.Inc()
+		return
+	}
+	m.CheckpointWrites.Inc()
+	m.CheckpointBytes.Add(uint64(bytes))
+	m.CheckpointNs.ObserveDuration(d)
+}
+
+// Snapshot renders the hub as a JSON-marshalable tree — the /metrics
+// payload. It is a point-in-time read under concurrent traffic: values
+// are individually atomic but not mutually consistent, which is the
+// usual (and sufficient) monitoring contract.
+func (m *Metrics) Snapshot() map[string]any {
+	nodes := make(map[string]nodeSnapshot)
+	m.nodes.Range(func(k, v any) bool {
+		nm := v.(*NodeMetrics)
+		nodes[k.(string)] = nodeSnapshot{
+			Emissions: nm.Emissions.Value(),
+			Errors:    nm.Errors.Value(),
+			Panics:    nm.Panics.Value(),
+			Drops:     nm.Drops.Value(),
+			Restarts:  nm.Restarts.Value(),
+			ProcessNs: nm.ProcessNs.Snapshot(),
+		}
+		return true
+	})
+
+	transitions := make(map[string]uint64)
+	m.providerTransitions.Range(func(k, v any) bool {
+		transitions[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+
+	m.shardMu.Lock()
+	shardLive := make([]int64, len(m.shardLive))
+	var live int64
+	for i, g := range m.shardLive {
+		shardLive[i] = g.Value()
+		live += g.Value()
+	}
+	m.shardMu.Unlock()
+
+	return map[string]any{
+		"spans_emitted":         m.SpansEmitted.Value(),
+		"spans_dropped":         m.SpansDropped.Value(),
+		"sessions_created":      m.SessionsCreated.Value(),
+		"sessions_evicted":      m.SessionsEvicted.Value(),
+		"sessions_resumed":      m.SessionsResumed.Value(),
+		"sessions_live":         live,
+		"shard_live":            shardLive,
+		"supervisor_engaged":    m.SupervisorEngaged.Value(),
+		"supervisor_disengaged": m.SupervisorDisengaged.Value(),
+		"provider_transitions":  transitions,
+		"checkpoint": map[string]any{
+			"writes":   m.CheckpointWrites.Value(),
+			"errors":   m.CheckpointErrors.Value(),
+			"bytes":    m.CheckpointBytes.Value(),
+			"write_ns": m.CheckpointNs.Snapshot(),
+		},
+		"tree_depth": m.TreeDepth.Snapshot(),
+		"nodes":      nodes,
+	}
+}
+
+// NodeIDs returns the IDs with per-node metrics, sorted (inspection
+// and tests).
+func (m *Metrics) NodeIDs() []string {
+	var out []string
+	m.nodes.Range(func(k, _ any) bool {
+		out = append(out, k.(string))
+		return true
+	})
+	sort.Strings(out)
+	return out
+}

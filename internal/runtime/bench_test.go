@@ -16,6 +16,7 @@ import (
 	"perpos/internal/filter"
 	"perpos/internal/gps"
 	"perpos/internal/health"
+	"perpos/internal/obs"
 	"perpos/internal/positioning"
 	"perpos/internal/trace"
 	"perpos/internal/wifi"
@@ -75,6 +76,33 @@ func BenchmarkRuntimeSessionsCheckpointed(b *testing.B) {
 				Deadlines:            map[string]time.Duration{"gps": time.Second},
 			}
 			store, err := checkpoint.Open(b.TempDir(), checkpoint.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			cfg.Checkpoints = store
+			benchSessions(b, n, cfg, 5)
+		})
+	}
+}
+
+// BenchmarkRuntimeSessionsObserved is the checkpointed workload with
+// the full observability hub wired in: emission taps, tree-depth
+// observation, lifecycle gauges and checkpoint accounting all active.
+// The delta against BenchmarkRuntimeSessionsCheckpointed is the
+// instrumentation overhead (budget: ≤3%) — the hot path adds only a
+// handful of atomic operations per sample.
+func BenchmarkRuntimeSessionsObserved(b *testing.B) {
+	for _, n := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("sessions_%d", n), func(b *testing.B) {
+			cfg := gpsSessionConfig(b)
+			cfg.Health = &health.Policy{
+				MaxConsecutiveErrors: 3,
+				Deadlines:            map[string]time.Duration{"gps": time.Second},
+			}
+			hub := obs.New()
+			cfg.Observability = hub
+			store, err := checkpoint.Open(b.TempDir(), checkpoint.Options{OnAppend: hub.CheckpointAppend})
 			if err != nil {
 				b.Fatal(err)
 			}

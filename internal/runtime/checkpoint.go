@@ -172,5 +172,6 @@ func (m *Manager) ResumeSession(id string) (*Session, error) {
 		sh.sessions = make(map[string]*Session)
 	}
 	sh.sessions[id] = s
+	m.noteCreated(id, true)
 	return s, nil
 }

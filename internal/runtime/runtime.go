@@ -70,13 +70,48 @@ func NewManager(cfg SessionConfig, opts ...Option) (*Manager, error) {
 	for _, opt := range opts {
 		opt(m)
 	}
+	if m.cfg.Observability != nil {
+		m.cfg.Observability.InitShards(len(m.shards))
+	}
 	return m, nil
 }
 
-func (m *Manager) shardFor(id string) *shard {
+func (m *Manager) shardIndex(id string) int {
 	h := fnv.New32a()
 	h.Write([]byte(id))
-	return &m.shards[h.Sum32()%uint32(len(m.shards))]
+	return int(h.Sum32() % uint32(len(m.shards)))
+}
+
+func (m *Manager) shardFor(id string) *shard {
+	return &m.shards[m.shardIndex(id)]
+}
+
+// noteCreated / noteRetired keep the hub's lifecycle counters and the
+// per-shard live gauges in step with the registry.
+func (m *Manager) noteCreated(id string, resumed bool) {
+	hub := m.cfg.Observability
+	if hub == nil {
+		return
+	}
+	if resumed {
+		hub.SessionsResumed.Inc()
+	} else {
+		hub.SessionsCreated.Inc()
+	}
+	if g := hub.ShardLive(m.shardIndex(id)); g != nil {
+		g.Inc()
+	}
+}
+
+func (m *Manager) noteRetired(id string) {
+	hub := m.cfg.Observability
+	if hub == nil {
+		return
+	}
+	hub.SessionsEvicted.Inc()
+	if g := hub.ShardLive(m.shardIndex(id)); g != nil {
+		g.Dec()
+	}
 }
 
 // Get returns the live session for the target, if any.
@@ -117,6 +152,7 @@ func (m *Manager) GetOrCreate(id string) (*Session, error) {
 		sh.sessions = make(map[string]*Session)
 	}
 	sh.sessions[id] = s
+	m.noteCreated(id, false)
 	return s, nil
 }
 
@@ -149,6 +185,7 @@ func (m *Manager) retire(s *Session) {
 		_, _ = s.checkpointFinal()
 	}
 	s.close()
+	m.noteRetired(s.id)
 	if m.onEvict != nil {
 		m.onEvict(s)
 	}

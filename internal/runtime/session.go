@@ -19,6 +19,7 @@ import (
 	"perpos/internal/checkpoint"
 	"perpos/internal/core"
 	"perpos/internal/health"
+	"perpos/internal/obs"
 	"perpos/internal/positioning"
 )
 
@@ -77,6 +78,12 @@ type SessionConfig struct {
 	// on this period; 0 disables the ticker (evict-time and manual
 	// checkpoints still happen).
 	CheckpointEvery time.Duration
+	// Observability wires every session into a shared metrics hub:
+	// emission taps, per-node process latency (async runner), data-tree
+	// depths, provider availability transitions, supervisor reroute
+	// counts and session lifecycle counters. Nil disables instrumentation
+	// entirely — no hooks are installed and the hot path is untouched.
+	Observability *obs.Metrics
 }
 
 // Session is one target's live pipeline: a private graph instantiated
@@ -94,6 +101,11 @@ type Session struct {
 	monitor    *health.Monitor
 	supervisor *health.Supervisor
 	tapCancel  func()
+
+	metrics      *obs.Metrics
+	obsObserver  *obs.GraphObserver
+	obsTapCancel func()
+	availCancel  func()
 
 	store     *checkpoint.Store
 	ckptEvery time.Duration
@@ -144,6 +156,11 @@ func newSession(id string, cfg SessionConfig, clock func() time.Time) (*Session,
 	if cfg.History > 0 {
 		layerOpts = append(layerOpts, channel.WithHistory(cfg.History))
 	}
+	if m := cfg.Observability; m != nil {
+		layerOpts = append(layerOpts, channel.WithTreeObserver(func(_ *channel.Channel, t *channel.DataTree) {
+			m.ObserveTreeDepth(t.Depth())
+		}))
+	}
 	s.graph = g
 	s.layer = channel.NewLayer(g, layerOpts...)
 	s.lastUsed = clock()
@@ -162,6 +179,29 @@ func newSession(id string, cfg SessionConfig, clock func() time.Time) (*Session,
 				s.provider.SetAvailability(positioning.Available)
 			}
 		})
+	}
+	if m := cfg.Observability; m != nil {
+		s.metrics = m
+		// The graph observer wraps the monitor (when present) so the
+		// single runner-observer slot serves supervision and metrics.
+		var inner core.RunnerObserver
+		if s.monitor != nil {
+			inner = s.monitor
+		}
+		s.obsObserver = obs.NewGraphObserver(m, inner)
+		s.obsTapCancel = g.Tap(s.obsObserver.Tap)
+		s.availCancel = s.provider.NotifyAvailability(func(a positioning.Availability) {
+			m.ProviderTransition(a.String())
+		})
+		if s.supervisor != nil {
+			s.supervisor.OnReroute(func(engaged bool) {
+				if engaged {
+					m.SupervisorEngaged.Inc()
+				} else {
+					m.SupervisorDisengaged.Inc()
+				}
+			})
+		}
 	}
 	return s, nil
 }
@@ -310,10 +350,16 @@ func (s *Session) Start(ctx context.Context, opts ...core.RunnerOption) error {
 	if s.inboxCap > 0 {
 		opts = append([]core.RunnerOption{core.WithInboxCapacity(s.inboxCap)}, opts...)
 	}
+	switch {
+	case s.obsObserver != nil:
+		// Wraps the monitor when supervision is on; with it off the
+		// observer still feeds error/latency metrics.
+		opts = append(opts, core.WithRunnerObserver(s.obsObserver))
+	case s.monitor != nil:
+		opts = append(opts, core.WithRunnerObserver(s.monitor))
+	}
 	if s.monitor != nil {
-		opts = append(opts,
-			core.WithRunnerObserver(s.monitor),
-			core.WithSourceRestart(s.monitor.Policy().Restart))
+		opts = append(opts, core.WithSourceRestart(s.monitor.Policy().Restart))
 	}
 	r := core.NewRunner(s.graph, opts...)
 	if err := r.Start(ctx); err != nil {
@@ -402,6 +448,12 @@ func (s *Session) close() {
 	if s.tapCancel != nil {
 		s.tapCancel()
 	}
+	if s.obsTapCancel != nil {
+		s.obsTapCancel()
+	}
 	s.layer.Close()
 	s.provider.SetAvailability(positioning.OutOfService)
+	if s.availCancel != nil {
+		s.availCancel()
+	}
 }
