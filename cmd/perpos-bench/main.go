@@ -46,7 +46,7 @@ func run(args []string) error {
 	exp := fs.String("e", "", "experiment ID to run (default: all)")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	series := fs.Bool("series", false, "emit plot series where supported (E5)")
-	jsonPath := fs.String("json", "", "write per-experiment timings (ns/op, samples/s) to this file")
+	jsonPath := fs.String("json", "", "write per-experiment timings (ns/op, samples/s, allocs/op, B/op) to this file")
 	compare := fs.Bool("compare", false, "compare two timing JSON files (old new) and fail on regressions beyond -tol")
 	tol := fs.String("tol", "10%", "allowed regression for -compare, as a percentage (10%) or fraction (0.1)")
 	gobench := fs.String("gobench", "", "convert `go test -bench` output (a file, or - for stdin) to timing JSON instead of running experiments")
@@ -132,12 +132,16 @@ func run(args []string) error {
 }
 
 // timing is one experiment's wall-clock record for -json output.
+// AllocsOp and BytesOp are only populated from -gobench input (the
+// experiment runner does not meter its own allocations).
 type timing struct {
 	ID            string  `json:"id"`
 	Title         string  `json:"title"`
 	NsOp          int64   `json:"ns_op"`
 	Samples       int     `json:"samples,omitempty"`
 	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
+	AllocsOp      int64   `json:"allocs_op,omitempty"`
+	BytesOp       int64   `json:"bytes_op,omitempty"`
 }
 
 // convertGoBench parses `go test -bench` output into the same timing
@@ -176,8 +180,9 @@ func convertGoBench(path, jsonPath string) error {
 }
 
 // parseGoBench reads benchmark result lines ("BenchmarkX-8  1  42 ns/op
-// 10.5 samples/s ..."), keeping ns/op and the samples/s custom metric.
-// The -<GOMAXPROCS> suffix is stripped so IDs are machine-independent.
+// 120 B/op  3 allocs/op  10.5 samples/s ..."), keeping ns/op, B/op,
+// allocs/op and the samples/s custom metric. The -<GOMAXPROCS> suffix
+// is stripped so IDs are machine-independent.
 func parseGoBench(r io.Reader) ([]timing, error) {
 	var out []timing
 	sc := bufio.NewScanner(r)
@@ -197,6 +202,10 @@ func parseGoBench(r io.Reader) ([]timing, error) {
 				t.NsOp = int64(val)
 			case "samples/s":
 				t.SamplesPerSec = val
+			case "allocs/op":
+				t.AllocsOp = int64(val)
+			case "B/op":
+				t.BytesOp = int64(val)
 			}
 		}
 		if t.NsOp == 0 && t.SamplesPerSec == 0 {
@@ -222,10 +231,13 @@ func stripProcSuffix(name string) string {
 
 // compareTimings is the regression gate: every timing in the old
 // (baseline) file must still be present in the new file and must not
-// have regressed beyond the tolerance. Throughput entries (samples/s,
-// higher is better) are preferred over wall-clock (ns/op, lower is
-// better) when both files carry them. Extra entries in the new file —
-// freshly added benchmarks — are ignored.
+// have regressed beyond the tolerance on any shared metric. For time,
+// throughput entries (samples/s, higher is better) are preferred over
+// wall-clock (ns/op, lower is better) when both files carry them;
+// allocs/op and B/op (lower is better) are additionally checked
+// whenever the baseline records them, so an allocation regression
+// fails the gate even if throughput holds up. Extra entries in the new
+// file — freshly added benchmarks — are ignored.
 func compareTimings(oldPath, newPath, tolSpec string) error {
 	tolerance, err := parseTolerance(tolSpec)
 	if err != nil {
@@ -252,22 +264,24 @@ func compareTimings(oldPath, newPath, tolSpec string) error {
 			fmt.Printf("%-52s MISSING\n", o.ID)
 			continue
 		}
-		metric, oldV, newV, higherBetter := pickMetric(o, n)
-		if metric == "" {
+		metrics := pickMetrics(o, n)
+		if len(metrics) == 0 {
 			regressions = append(regressions, fmt.Sprintf("%s: no comparable metric", o.ID))
 			fmt.Printf("%-52s NO METRIC\n", o.ID)
 			continue
 		}
-		delta := (newV - oldV) / oldV
-		bad := (higherBetter && delta < -tolerance) || (!higherBetter && delta > tolerance)
-		status := "ok"
-		if bad {
-			status = "REGRESSED"
-			regressions = append(regressions, fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%, tolerance %.0f%%)",
-				o.ID, metric, oldV, newV, delta*100, tolerance*100))
+		for _, m := range metrics {
+			delta := (m.newV - m.oldV) / m.oldV
+			bad := (m.higherBetter && delta < -tolerance) || (!m.higherBetter && delta > tolerance)
+			status := "ok"
+			if bad {
+				status = "REGRESSED"
+				regressions = append(regressions, fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%, tolerance %.0f%%)",
+					o.ID, m.name, m.oldV, m.newV, delta*100, tolerance*100))
+			}
+			fmt.Printf("%-52s %-12s old=%-12.4g new=%-12.4g %+6.1f%%  %s\n",
+				o.ID, m.name, m.oldV, m.newV, delta*100, status)
 		}
-		fmt.Printf("%-52s %-12s old=%-12.4g new=%-12.4g %+6.1f%%  %s\n",
-			o.ID, metric, oldV, newV, delta*100, status)
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d regression(s):\n  %s", len(regressions), strings.Join(regressions, "\n  "))
@@ -276,15 +290,34 @@ func compareTimings(oldPath, newPath, tolSpec string) error {
 	return nil
 }
 
-// pickMetric chooses the comparison metric for a baseline/current pair.
-func pickMetric(o, n timing) (metric string, oldV, newV float64, higherBetter bool) {
+// metricPair is one comparable metric shared by a baseline/current
+// timing pair.
+type metricPair struct {
+	name         string
+	oldV, newV   float64
+	higherBetter bool
+}
+
+// pickMetrics lists every metric to gate for a baseline/current pair:
+// one time metric (samples/s preferred over ns/op) plus allocs/op and
+// B/op when the baseline pins them. A memory metric the baseline
+// records but the new run lacks compares as 0 on the new side, which
+// can only pass the gate if the baseline was already 0 — dropping
+// -benchmem from the CI run cannot silently disable the check.
+func pickMetrics(o, n timing) []metricPair {
+	var out []metricPair
 	if o.SamplesPerSec > 0 && n.SamplesPerSec > 0 {
-		return "samples/s", o.SamplesPerSec, n.SamplesPerSec, true
+		out = append(out, metricPair{"samples/s", o.SamplesPerSec, n.SamplesPerSec, true})
+	} else if o.NsOp > 0 && n.NsOp > 0 {
+		out = append(out, metricPair{"ns/op", float64(o.NsOp), float64(n.NsOp), false})
 	}
-	if o.NsOp > 0 && n.NsOp > 0 {
-		return "ns/op", float64(o.NsOp), float64(n.NsOp), false
+	if o.AllocsOp > 0 {
+		out = append(out, metricPair{"allocs/op", float64(o.AllocsOp), float64(n.AllocsOp), false})
 	}
-	return "", 0, 0, false
+	if o.BytesOp > 0 {
+		out = append(out, metricPair{"B/op", float64(o.BytesOp), float64(n.BytesOp), false})
+	}
+	return out
 }
 
 // parseTolerance accepts "10%" or "0.1".

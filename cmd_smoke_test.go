@@ -217,6 +217,7 @@ func TestBinariesSmoke(t *testing.T) {
 			"goos: linux\n"+
 				"BenchmarkRuntimeSessions/sessions_10-8  1  300000000 ns/op  450.5 samples/s\n"+
 				"BenchmarkRoomAt/grid-8  20000  15.2 ns/op  0 B/op\n"+
+				"BenchmarkRuntimeSaturated/sessions_100-8  100  650000 ns/op  996 B/op  17 allocs/op  150000 samples/s\n"+
 				"PASS\n"), 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -232,6 +233,8 @@ func TestBinariesSmoke(t *testing.T) {
 			`"id": "BenchmarkRuntimeSessions/sessions_10"`,
 			`"id": "BenchmarkRoomAt/grid"`,
 			`"samples_per_sec": 450.5`,
+			`"allocs_op": 17`,
+			`"bytes_op": 996`,
 		} {
 			if !strings.Contains(string(data), want) {
 				t.Errorf("gobench JSON missing %q:\n%s", want, data)
@@ -281,6 +284,54 @@ func TestBinariesSmoke(t *testing.T) {
 		}
 		if !strings.Contains(out, "MISSING") {
 			t.Errorf("missing-benchmark output lacks diagnosis:\n%s", out)
+		}
+
+		// An allocation regression must fail the gate even when
+		// throughput holds: baseline pins 17 allocs/op and 996 B/op, the
+		// parsed bench.txt matches, then a doubled-allocs run does not.
+		memBase := filepath.Join(dir, "mem-base.json")
+		if err := os.WriteFile(memBase, []byte(`[
+  {"id": "BenchmarkRuntimeSaturated/sessions_100", "title": "", "ns_op": 650000,
+   "samples_per_sec": 150000, "allocs_op": 17, "bytes_op": 996}
+]`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out = runBin(t, bins["perpos-bench"], "-compare", memBase, newJSON, "-tol", "10%")
+		if !strings.Contains(out, "allocs/op") || !strings.Contains(out, "B/op") {
+			t.Errorf("gate did not report memory metrics:\n%s", out)
+		}
+		memBad := filepath.Join(dir, "mem-bad.json")
+		if err := os.WriteFile(memBad, []byte(`[
+  {"id": "BenchmarkRuntimeSaturated/sessions_100", "title": "", "ns_op": 650000,
+   "samples_per_sec": 160000, "allocs_op": 34, "bytes_op": 996}
+]`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err = runBinErr(bins["perpos-bench"], "-compare", memBase, memBad, "-tol", "10%")
+		if err == nil {
+			t.Fatalf("gate passed a doubled allocs/op with good throughput:\n%s", out)
+		}
+		if !strings.Contains(out, "allocs/op") || !strings.Contains(out, "REGRESSED") {
+			t.Errorf("alloc regression output missing diagnosis:\n%s", out)
+		}
+	})
+
+	t.Run("saturated-bench-smoke", func(t *testing.T) {
+		// One iteration of the saturated benchmark: catches panics or
+		// pool-corruption in the flat-out path without paying benchmark
+		// runtime. The full run is the CI bench gate's job.
+		goBin, err := exec.LookPath("go")
+		if err != nil {
+			t.Skip("go toolchain not in PATH")
+		}
+		out, err := exec.Command(goBin, "test", "./internal/runtime/",
+			"-run", "^$", "-bench", "BenchmarkRuntimeSaturated/sessions_1$",
+			"-benchtime", "1x").CombinedOutput()
+		if err != nil {
+			t.Fatalf("saturated bench smoke: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "BenchmarkRuntimeSaturated") {
+			t.Errorf("saturated bench did not run:\n%s", out)
 		}
 	})
 

@@ -32,6 +32,11 @@ type Feature interface {
 	// Apply is invoked once per channel delivery, before the consumer
 	// processes the delivered sample, so the feature's state always
 	// corresponds to the sample the consumer is about to see.
+	//
+	// The tree is owned by the middleware and its nodes are recycled
+	// after the channel's next delivery: reading during Apply is safe,
+	// but an implementation that retains the tree (or samples reached
+	// through it) must call DataTree.Detach / Sample.Detach first.
 	Apply(tree *DataTree)
 }
 
@@ -68,9 +73,17 @@ type Channel struct {
 	consumer *core.Node
 	port     int // consumer input port the channel feeds
 
+	layer *Layer // owning layer; set at derive time, used for lazy trees
+
 	mu       sync.RWMutex
 	features []Feature
 	lastTree *DataTree
+	// lastRoot/hasRoot record the latest delivery when no tree was built
+	// eagerly (no features attached, no tree observer): LastTree
+	// reconstructs the tree from the layer's history on demand instead of
+	// paying for tree construction on every delivery.
+	lastRoot core.Sample
+	hasRoot  bool
 }
 
 // ID returns the channel identifier, "<source>-><consumer>:<port>".
@@ -176,7 +189,13 @@ func (c *Channel) DetachFeature(name string) error {
 	defer c.mu.Unlock()
 	for i, f := range c.features {
 		if f.FeatureName() == name {
-			c.features = append(c.features[:i], c.features[i+1:]...)
+			// Copy-on-write: deliver iterates a lock-free snapshot of
+			// this slice, so removal must not shift the shared backing
+			// array in place.
+			kept := make([]Feature, 0, len(c.features)-1)
+			kept = append(kept, c.features[:i]...)
+			kept = append(kept, c.features[i+1:]...)
+			c.features = kept
 			return nil
 		}
 	}
@@ -230,24 +249,68 @@ func (c *Channel) FeatureNames() []string {
 
 // LastTree returns the data tree of the most recent delivery, if any.
 // PSL-averse developers can use this for ad-hoc inspection; Channel
-// Features should rely on Apply instead.
+// Features should rely on Apply instead. The returned tree is a
+// detached copy the caller owns — the channel's internal tree is pooled
+// and recycled on the next delivery.
+// If the channel had no eager tree consumers at delivery time the tree
+// is reconstructed from the layer's history; contributions the history
+// ring has since evicted are absent from the reconstruction.
 func (c *Channel) LastTree() (*DataTree, bool) {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.lastTree, c.lastTree != nil
+	if c.lastTree != nil {
+		t := c.lastTree.Detach()
+		c.mu.RUnlock()
+		return t, true
+	}
+	if !c.hasRoot || c.layer == nil {
+		c.mu.RUnlock()
+		return nil, false
+	}
+	root := c.lastRoot
+	c.mu.RUnlock()
+	// Build outside c.mu: the layer lock is ordered before the channel
+	// lock everywhere else (observe -> deliver).
+	return c.layer.buildDetachedTree(c, root), true
 }
 
 // deliver is called by the Layer when the channel end point emits a
-// sample: it stores the tree and applies every Channel Feature.
-func (c *Channel) deliver(tree *DataTree) {
+// sample: it stores the tree and applies every Channel Feature. It
+// returns the previously held tree, whose ownership passes back to the
+// caller (the layer recycles it).
+func (c *Channel) deliver(tree *DataTree) *DataTree {
 	c.mu.Lock()
+	prev := c.lastTree
 	c.lastTree = tree
-	features := make([]Feature, len(c.features))
-	copy(features, c.features)
+	c.hasRoot = false
+	features := c.features
 	c.mu.Unlock()
 	for _, f := range features {
 		f.Apply(tree)
 	}
+	return prev
+}
+
+// deliverRoot is the lazy counterpart of deliver, used when nothing
+// consumes the tree eagerly: it records only the delivered root sample
+// (LastTree reconstructs the tree from history when asked) and returns
+// any previously held tree for recycling.
+func (c *Channel) deliverRoot(root core.Sample) *DataTree {
+	c.mu.Lock()
+	prev := c.lastTree
+	c.lastTree = nil
+	c.lastRoot = root
+	c.hasRoot = true
+	c.mu.Unlock()
+	return prev
+}
+
+// hasFeatures reports whether any Channel Feature is attached — the
+// per-delivery check deciding eager versus lazy tree construction.
+func (c *Channel) hasFeatures() bool {
+	c.mu.RLock()
+	n := len(c.features)
+	c.mu.RUnlock()
+	return n > 0
 }
 
 // contains reports whether the channel includes the given component.

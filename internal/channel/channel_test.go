@@ -140,6 +140,61 @@ func TestDeriveFig2Channels(t *testing.T) {
 	}
 }
 
+// TestDeriveDeepFanOutPathsIndependent is the regression test for the
+// derive path-extension bug: following a fan-out, sibling branches must
+// not alias one backing array (an append-based extension could overwrite
+// a sibling's tail, corrupting its channel's node list).
+func TestDeriveDeepFanOutPathsIndependent(t *testing.T) {
+	g := core.New()
+	mustAdd(t, g, rawSource("src", kindRaw, 1))
+	mustAdd(t, g, passthrough("a", kindRaw, kindRaw))
+	mustAdd(t, g, passthrough("b", kindRaw, kindRaw))
+	// Fan-out at b into two deep branches, plus a nested fan-out on the
+	// first branch — the shapes that stress shared path prefixes.
+	for _, id := range []string{"c1", "d1", "e1", "c2", "d2", "e2", "f1"} {
+		mustAdd(t, g, passthrough(id, kindRaw, kindRaw))
+	}
+	for _, sink := range []string{"app1", "app2", "app3"} {
+		mustAdd(t, g, core.NewSink(sink, []core.Kind{kindRaw}))
+	}
+	mustConnect(t, g, "src", "a", 0)
+	mustConnect(t, g, "a", "b", 0)
+	mustConnect(t, g, "b", "c1", 0)
+	mustConnect(t, g, "c1", "d1", 0)
+	mustConnect(t, g, "d1", "e1", 0)
+	mustConnect(t, g, "e1", "app1", 0)
+	mustConnect(t, g, "b", "c2", 0)
+	mustConnect(t, g, "c2", "d2", 0)
+	mustConnect(t, g, "d2", "e2", 0)
+	mustConnect(t, g, "e2", "app2", 0)
+	// Nested fan-out: d1 also feeds a third branch.
+	mustConnect(t, g, "d1", "f1", 0)
+	mustConnect(t, g, "f1", "app3", 0)
+
+	l := NewLayer(g)
+	defer l.Close()
+
+	want := map[string][]string{
+		"src->app1:0": {"src", "a", "b", "c1", "d1", "e1"},
+		"src->app2:0": {"src", "a", "b", "c2", "d2", "e2"},
+		"src->app3:0": {"src", "a", "b", "c1", "d1", "f1"},
+	}
+	channels := l.Channels()
+	if len(channels) != len(want) {
+		t.Fatalf("derived %d channels, want %d: %v", len(channels), len(want), channelIDs(channels))
+	}
+	for _, c := range channels {
+		wantNodes, ok := want[c.ID()]
+		if !ok {
+			t.Errorf("unexpected channel %q", c.ID())
+			continue
+		}
+		if got := c.NodeIDs(); !equalStrings(got, wantNodes) {
+			t.Errorf("channel %q nodes = %v, want %v", c.ID(), got, wantNodes)
+		}
+	}
+}
+
 func TestViewMatchesFig2Structure(t *testing.T) {
 	g, _ := buildFig2Graph(t, 1)
 	l := NewLayer(g)
@@ -374,7 +429,9 @@ type recordingFeature struct {
 
 func (f *recordingFeature) FeatureName() string { return f.name }
 
-func (f *recordingFeature) Apply(tree *DataTree) { f.trees = append(f.trees, tree) }
+// Apply detaches: delivered trees are pool-owned and recycled after the
+// next delivery, so retained ones must be deep-copied.
+func (f *recordingFeature) Apply(tree *DataTree) { f.trees = append(f.trees, tree.Detach()) }
 
 func (f *recordingFeature) Requires() Requirements { return f.reqs }
 

@@ -138,19 +138,33 @@ func (l *Layer) Refresh() {
 func (l *Layer) rebuild(old []*Channel) {
 	oldFeatures := make(map[string][]Feature, len(old))
 	oldTrees := make(map[string]*DataTree, len(old))
+	oldRoots := make(map[string]core.Sample, len(old))
 	for _, c := range old {
 		oldFeatures[c.id] = c.Features()
-		if t, ok := c.LastTree(); ok {
-			oldTrees[c.id] = t
+		// Transfer lastTree ownership from the old channel object to its
+		// successor (trees are pooled; exactly one owner may recycle).
+		c.mu.Lock()
+		if c.lastTree != nil {
+			oldTrees[c.id] = c.lastTree
+			c.lastTree = nil
 		}
+		if c.hasRoot {
+			oldRoots[c.id] = c.lastRoot
+		}
+		c.mu.Unlock()
 	}
 
 	channels := derive(l.g)
 	byEndpoint := make(map[string][]*Channel)
 	for _, c := range channels {
+		c.layer = l
 		if fs, ok := oldFeatures[c.id]; ok {
 			c.features = fs
 			c.lastTree = oldTrees[c.id]
+			if root, ok := oldRoots[c.id]; ok {
+				c.lastRoot = root
+				c.hasRoot = true
+			}
 		}
 		epID := c.endpoint.ID()
 		byEndpoint[epID] = append(byEndpoint[epID], c)
@@ -176,10 +190,22 @@ func (l *Layer) observe(componentID string, s core.Sample) {
 	}
 	r.add(s)
 
-	var deliveries []delivery
+	// Small stack buffer: an endpoint almost always feeds one channel,
+	// so the common case builds the delivery batch without allocating.
+	var dbuf [4]delivery
+	deliveries := dbuf[:0]
 	if s.FromFeature == "" {
 		for _, c := range l.byEndpoint[componentID] {
-			deliveries = append(deliveries, delivery{c: c, tree: l.buildTreeLocked(c, s)})
+			// Trees are built eagerly only when something consumes them at
+			// delivery time (attached features, tree observer). Otherwise
+			// the delivery records just the root sample and LastTree
+			// reconstructs the tree from history on demand — saturated
+			// pipelines with no tree consumers skip construction entirely.
+			if l.onTree != nil || c.hasFeatures() {
+				deliveries = append(deliveries, delivery{c: c, tree: l.buildTreeLocked(c, s)})
+			} else {
+				deliveries = append(deliveries, delivery{c: c})
+			}
 		}
 	}
 	l.mu.Unlock()
@@ -187,7 +213,18 @@ func (l *Layer) observe(componentID string, s core.Sample) {
 	// Apply features outside the layer lock: Apply implementations may
 	// call back into the layer or the graph.
 	for _, d := range deliveries {
-		d.c.deliver(d.tree)
+		if d.tree == nil {
+			if prev := d.c.deliverRoot(s); prev != nil {
+				releaseTree(prev)
+			}
+			continue
+		}
+		// Ownership handoff: the channel takes the new tree and returns
+		// the one it held, which nothing else may reference any more
+		// (LastTree hands out detached copies) — recycle it.
+		if prev := d.c.deliver(d.tree); prev != nil {
+			releaseTree(prev)
+		}
 		if l.onTree != nil {
 			l.onTree(d.c, d.tree)
 		}
@@ -201,29 +238,51 @@ type delivery struct {
 
 // buildTreeLocked builds the Fig. 4 data tree for one endpoint sample by
 // resolving consumption spans against recorded history, bounded to the
-// channel's own components.
+// channel's own components. Trees and nodes come from the package pool;
+// the channel's previous tree is recycled when deliver replaces it.
 func (l *Layer) buildTreeLocked(c *Channel, root core.Sample) *DataTree {
-	var build func(s core.Sample) *TreeNode
-	build = func(s core.Sample) *TreeNode {
-		node := &TreeNode{Sample: s}
-		for _, span := range s.Spans {
-			if !c.contains(span.Source) {
-				// The span refers outside the channel (e.g. a merge
-				// source consuming its own input channels) — the tree
-				// stops at the channel boundary.
-				continue
-			}
-			r, ok := l.history[span.Source]
-			if !ok {
-				continue
-			}
-			for _, child := range r.inRange(span.From, span.To) {
-				node.Children = append(node.Children, build(child))
+	t := newTree()
+	t.Root = l.buildNodeLocked(c, root)
+	return t
+}
+
+// buildDetachedTree reconstructs a delivery's data tree from history for
+// a channel that delivered lazily (no eager tree consumers). The result
+// is caller-owned; the pooled intermediate is recycled immediately.
+func (l *Layer) buildDetachedTree(c *Channel, root core.Sample) *DataTree {
+	l.mu.Lock()
+	t := l.buildTreeLocked(c, root)
+	l.mu.Unlock()
+	d := t.Detach()
+	releaseTree(t)
+	return d
+}
+
+func (l *Layer) buildNodeLocked(c *Channel, s core.Sample) *TreeNode {
+	node := newTreeNode(s)
+	for _, span := range s.Spans {
+		if !c.contains(span.Source) {
+			// The span refers outside the channel (e.g. a merge
+			// source consuming its own input channels) — the tree
+			// stops at the channel boundary.
+			continue
+		}
+		r, ok := l.history[span.Source]
+		if !ok {
+			continue
+		}
+		// Scan the ring's two contiguous segments directly rather than
+		// materializing an inRange slice per span per node.
+		lo, hi := r.segments()
+		for _, seg := range [2][]core.Sample{lo, hi} {
+			for i := range seg {
+				if seg[i].Logical >= span.From && seg[i].Logical <= span.To {
+					node.Children = append(node.Children, l.buildNodeLocked(c, seg[i]))
+				}
 			}
 		}
-		return node
 	}
-	return &DataTree{Root: build(root)}
+	return node
 }
 
 // View is a structural snapshot of the PCL for inspection tooling: the
@@ -302,7 +361,13 @@ func derive(g *core.Graph) []*Channel {
 			})
 			return
 		}
-		extended := append(append([]*core.Node(nil), path...), next)
+		// One preallocated copy per extension. The copy (rather than
+		// append(path, next)) is what keeps sibling branches of a fan-out
+		// from aliasing one backing array and overwriting each other's
+		// tails; the previous version copied the path twice per step.
+		extended := make([]*core.Node, len(path)+1)
+		copy(extended, path)
+		extended[len(path)] = next
 		outs := adj[next.ID()]
 		if len(outs) == 0 {
 			// Dangling pipeline: a channel without a consumer yet.
@@ -354,23 +419,27 @@ func (r *ring) add(s core.Sample) {
 	}
 }
 
+// segments returns the ring contents oldest-first as up to two
+// contiguous views of the backing buffer, without copying.
+func (r *ring) segments() ([]core.Sample, []core.Sample) {
+	if r.full {
+		return r.buf[r.next:], r.buf[:r.next]
+	}
+	return r.buf[:r.next], nil
+}
+
 // inRange returns the recorded samples with logical time in [from, to],
 // in logical order. Feature-emitted samples interleaved in the range are
 // included — they contributed to the channel output's grouping window.
 func (r *ring) inRange(from, to core.LogicalTime) []core.Sample {
 	var out []core.Sample
-	scan := func(s core.Sample) {
-		if s.Logical >= from && s.Logical <= to {
-			out = append(out, s)
+	lo, hi := r.segments()
+	for _, seg := range [2][]core.Sample{lo, hi} {
+		for i := range seg {
+			if seg[i].Logical >= from && seg[i].Logical <= to {
+				out = append(out, seg[i])
+			}
 		}
-	}
-	if r.full {
-		for i := r.next; i < len(r.buf); i++ {
-			scan(r.buf[i])
-		}
-	}
-	for i := 0; i < r.next; i++ {
-		scan(r.buf[i])
 	}
 	return out
 }

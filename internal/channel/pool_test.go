@@ -1,0 +1,187 @@
+package channel
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"perpos/internal/core"
+)
+
+// TestReleaseNodeFullyResets verifies the pool contract: a released
+// node leaks nothing from its previous life — zero Sample, zero-length
+// children — so a recycled node can never surface stale delivery data.
+func TestReleaseNodeFullyResets(t *testing.T) {
+	s := core.Sample{
+		Kind:    kindRaw,
+		Payload: "secret",
+		Source:  "src",
+		Logical: 7,
+		Spans:   []core.Span{{Source: "up", From: 1, To: 3}},
+		Attrs:   map[string]any{"hdop": 1.2},
+	}
+	root := newTreeNode(s)
+	root.Children = append(root.Children, newTreeNode(s), newTreeNode(s))
+	child := root.Children[0]
+
+	releaseNode(root)
+
+	for name, n := range map[string]*TreeNode{"root": root, "child": child} {
+		if n.Sample.Payload != nil || n.Sample.Source != "" || n.Sample.Logical != 0 ||
+			n.Sample.Spans != nil || n.Sample.Attrs != nil {
+			t.Errorf("%s sample not reset after release: %+v", name, n.Sample)
+		}
+		if len(n.Children) != 0 {
+			t.Errorf("%s has %d children after release, want 0", name, len(n.Children))
+		}
+	}
+}
+
+// TestReleaseTreeResets verifies the tree shell is cleared before
+// pooling.
+func TestReleaseTreeResets(t *testing.T) {
+	tree := newTree()
+	tree.Root = newTreeNode(core.Sample{Kind: kindRaw, Payload: 1})
+	releaseTree(tree)
+	if tree.Root != nil {
+		t.Error("tree root not cleared by releaseTree")
+	}
+	releaseTree(nil) // must not panic
+}
+
+// retainingFeature keeps a detached copy of every delivered tree — the
+// documented pattern for consumers that hold data past Apply.
+type retainingFeature struct {
+	mu    sync.Mutex
+	trees []*DataTree
+}
+
+func (f *retainingFeature) FeatureName() string { return "retainer" }
+
+func (f *retainingFeature) Apply(tree *DataTree) {
+	f.mu.Lock()
+	f.trees = append(f.trees, tree.Detach())
+	f.mu.Unlock()
+}
+
+// TestRetainedTreesSurviveRecycling drives enough deliveries through a
+// channel that its pooled trees are recycled many times over, while a
+// feature retains a detached copy of each. Every retained tree must
+// still describe its own delivery afterwards — a detached copy sharing
+// state with a pooled node would have been wiped or overwritten.
+func TestRetainedTreesSurviveRecycling(t *testing.T) {
+	const n = 200
+	g := core.New()
+	mustAdd(t, g, rawSource("src", kindRaw, n))
+	mustAdd(t, g, passthrough("proc", kindRaw, kindNMEA))
+	mustAdd(t, g, core.NewSink("app", []core.Kind{kindNMEA}))
+	mustConnect(t, g, "src", "proc", 0)
+	mustConnect(t, g, "proc", "app", 0)
+
+	l := NewLayer(g, WithHistory(4))
+	defer l.Close()
+	c, ok := l.ChannelInto("app", 0)
+	if !ok {
+		t.Fatal("no channel into app")
+	}
+	f := &retainingFeature{}
+	if err := c.AttachFeature(f); err != nil {
+		t.Fatal(err)
+	}
+
+	for {
+		more, err := g.StepAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !more {
+			break
+		}
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.trees) != n {
+		t.Fatalf("retained %d trees, want %d", len(f.trees), n)
+	}
+	for i, tree := range f.trees {
+		root := tree.Root
+		if root == nil {
+			t.Fatalf("tree %d lost its root after recycling", i)
+		}
+		if root.Sample.Source != "proc" || root.Sample.Logical != core.LogicalTime(i+1) {
+			t.Fatalf("tree %d root = %s, want proc:%d — recycled node leaked into a detached tree",
+				i, root.Sample, i+1)
+		}
+		if len(root.Children) != 1 || root.Children[0].Sample.Source != "src" {
+			t.Fatalf("tree %d children = %v, want one src child", i, root.Children)
+		}
+		if root.Children[0].Sample.Logical != core.LogicalTime(i+1) {
+			t.Fatalf("tree %d child logical = %d, want %d",
+				i, root.Children[0].Sample.Logical, i+1)
+		}
+	}
+}
+
+// TestLastTreeConcurrentWithDeliveries hammers LastTree (which detaches
+// eager trees or lazily rebuilds from history) from a reader goroutine
+// while the async engine delivers — run under -race this is the
+// regression test for pooled-tree recycling racing a reader.
+func TestLastTreeConcurrentWithDeliveries(t *testing.T) {
+	const n = 500
+	g := core.New()
+	mustAdd(t, g, rawSource("src", kindRaw, n))
+	mustAdd(t, g, passthrough("proc", kindRaw, kindNMEA))
+	mustAdd(t, g, core.NewSink("app", []core.Kind{kindNMEA}))
+	mustConnect(t, g, "src", "proc", 0)
+	mustConnect(t, g, "proc", "app", 0)
+
+	l := NewLayer(g, WithHistory(8))
+	defer l.Close()
+	c, ok := l.ChannelInto("app", 0)
+	if !ok {
+		t.Fatal("no channel into app")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if tree, ok := c.LastTree(); ok {
+				// The detached copy must be internally consistent no
+				// matter when it was taken.
+				if tree.Root == nil || tree.Root.Sample.Source != "proc" {
+					t.Error("LastTree returned an inconsistent tree")
+					return
+				}
+				_ = tree.Depth()
+			}
+		}
+	}()
+
+	r := core.NewRunner(g)
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r.WaitSources()
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	tree, ok := c.LastTree()
+	if !ok {
+		t.Fatal("no LastTree after the run")
+	}
+	if tree.Root.Sample.Logical != n {
+		t.Errorf("final tree logical = %d, want %d", tree.Root.Sample.Logical, n)
+	}
+}

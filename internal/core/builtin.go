@@ -72,9 +72,11 @@ type Sink struct {
 	id       string
 	accepts  []Kind
 	features []string // AcceptsFeatures for the single input port
+	keep     int      // max samples retained (ring); 0 = unbounded
 
 	mu       sync.Mutex
 	received []Sample
+	start    int // ring head (oldest) once keep is reached
 	onSample func(Sample)
 }
 
@@ -92,6 +94,18 @@ func WithCallback(fn func(Sample)) SinkOption {
 // by the named Component Features.
 func WithAcceptedFeatures(names ...string) SinkOption {
 	return func(s *Sink) { s.features = names }
+}
+
+// WithKeep bounds the sink's recording to the n most recent samples
+// (ring semantics). Without it the sink records everything, which grows
+// without limit — fine for tests and short replays, wrong for sinks on
+// a long-running hot path.
+func WithKeep(n int) SinkOption {
+	return func(s *Sink) {
+		if n > 0 {
+			s.keep = n
+		}
+	}
 }
 
 // NewSink returns an application sink accepting the given kinds
@@ -125,7 +139,15 @@ func (s *Sink) Spec() Spec {
 // Process implements Component.
 func (s *Sink) Process(_ int, in Sample, _ Emit) error {
 	s.mu.Lock()
-	s.received = append(s.received, in)
+	if s.keep > 0 && len(s.received) >= s.keep {
+		s.received[s.start] = in
+		s.start++
+		if s.start == len(s.received) {
+			s.start = 0
+		}
+	} else {
+		s.received = append(s.received, in)
+	}
 	cb := s.onSample
 	s.mu.Unlock()
 	if cb != nil {
@@ -134,12 +156,14 @@ func (s *Sink) Process(_ int, in Sample, _ Emit) error {
 	return nil
 }
 
-// Received returns a copy of all samples delivered so far.
+// Received returns a copy of the recorded samples in delivery order
+// (all of them, or the most recent WithKeep window).
 func (s *Sink) Received() []Sample {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Sample, len(s.received))
-	copy(out, s.received)
+	out := make([]Sample, 0, len(s.received))
+	out = append(out, s.received[s.start:]...)
+	out = append(out, s.received[:s.start]...)
 	return out
 }
 
@@ -147,10 +171,11 @@ func (s *Sink) Received() []Sample {
 func (s *Sink) Last() (Sample, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.received) == 0 {
+	n := len(s.received)
+	if n == 0 {
 		return Sample{}, false
 	}
-	return s.received[len(s.received)-1], true
+	return s.received[(s.start+n-1)%n], true
 }
 
 // Len returns the number of delivered samples.
@@ -165,6 +190,7 @@ func (s *Sink) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.received = s.received[:0]
+	s.start = 0
 }
 
 // SliceSource is a Producer that emits a fixed sequence of samples, one

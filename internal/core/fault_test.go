@@ -321,6 +321,47 @@ func TestRunnerRestartCapExhausts(t *testing.T) {
 	}
 }
 
+func TestRunnerCancelDuringRestartBackoff(t *testing.T) {
+	g := New()
+	// Fails forever, with a backoff far longer than the test: Stop must
+	// interrupt the wait rather than sit out the delay (the backoff timer
+	// is reused and stopped on exit, not leaked per attempt).
+	src := &dyingSource{id: "src", failures: 1 << 30, total: 1}
+	mustAdd(t, g, src)
+	sink := NewSink("app", []Kind{kindRaw})
+	mustAdd(t, g, sink)
+	if err := g.Connect("src", "app", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner(g, WithSourceRestart(RestartPolicy{Base: time.Minute}))
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the source has failed at least once, so the drive loop
+	// is inside (or entering) the backoff select.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		src.mu.Lock()
+		failed := src.fails > 0
+		src.mu.Unlock()
+		if failed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("source never failed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	if err := r.Stop(); err == nil {
+		t.Error("Stop = nil, want the source's terminal error")
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("Stop blocked %v waiting out the restart backoff", waited)
+	}
+}
+
 func TestRunnerCleanExhaustionNeverRestarts(t *testing.T) {
 	g := New()
 	src := &dyingSource{id: "src", failures: 0, total: 3}

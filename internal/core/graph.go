@@ -33,11 +33,22 @@ type Graph struct {
 	nodes map[string]*Node
 	order []string // insertion order, for deterministic iteration
 
+	// producers caches the Producer source nodes StepAll drives;
+	// invalidated (under mu) when the node set changes.
+	producers []*Node
+
 	tapMu sync.RWMutex
 	taps  map[int]TapFunc
 	tapID int
+	// tapList is an immutable snapshot of taps, rebuilt on Tap/cancel,
+	// so notifyTaps on the emission path is one atomic load instead of a
+	// lock plus a map iteration.
+	tapList atomic.Pointer[[]TapFunc]
 
-	errMu      sync.Mutex
+	errMu sync.Mutex
+	// errPending mirrors "errs or errDropped non-empty" so the per-step
+	// drain check is a single atomic load when nothing failed.
+	errPending atomic.Bool
 	errs       []error
 	errDropped int
 
@@ -84,8 +95,10 @@ func (g *Graph) Add(c Component) (*Node, error) {
 		spec:    c.Spec(),
 		inbound: make([]*Node, len(c.Spec().Inputs)),
 	}
+	n.selfEmit = n.emitFunc("")
 	g.nodes[id] = n
 	g.order = append(g.order, id)
+	g.producers = nil
 	return n, nil
 }
 
@@ -320,6 +333,7 @@ func (g *Graph) Remove(id string) error {
 			break
 		}
 	}
+	g.producers = nil
 	return nil
 }
 
@@ -355,17 +369,37 @@ func (g *Graph) Tap(fn TapFunc) (cancel func()) {
 	id := g.tapID
 	g.tapID++
 	g.taps[id] = fn
+	g.rebuildTapListLocked()
 	return func() {
 		g.tapMu.Lock()
 		defer g.tapMu.Unlock()
 		delete(g.taps, id)
+		g.rebuildTapListLocked()
 	}
 }
 
+// rebuildTapListLocked snapshots taps into tapList in registration
+// order. Called with tapMu held.
+func (g *Graph) rebuildTapListLocked() {
+	if len(g.taps) == 0 {
+		g.tapList.Store(nil)
+		return
+	}
+	lst := make([]TapFunc, 0, len(g.taps))
+	for id := 0; id < g.tapID; id++ {
+		if fn, ok := g.taps[id]; ok {
+			lst = append(lst, fn)
+		}
+	}
+	g.tapList.Store(&lst)
+}
+
 func (g *Graph) notifyTaps(componentID string, s Sample) {
-	g.tapMu.RLock()
-	defer g.tapMu.RUnlock()
-	for _, fn := range g.taps {
+	lst := g.tapList.Load()
+	if lst == nil {
+		return
+	}
+	for _, fn := range *lst {
 		fn(componentID, s)
 	}
 }
@@ -378,6 +412,7 @@ const maxGraphErrors = 256
 func (g *Graph) noteError(err error) {
 	g.errMu.Lock()
 	defer g.errMu.Unlock()
+	g.errPending.Store(true)
 	if len(g.errs) >= maxGraphErrors {
 		g.errDropped++
 		return
@@ -386,9 +421,15 @@ func (g *Graph) noteError(err error) {
 }
 
 // drainErrors returns and clears errors collected during propagation.
+// The common no-error case is a single atomic load so step loops do not
+// contend on errMu.
 func (g *Graph) drainErrors() error {
+	if !g.errPending.Load() {
+		return nil
+	}
 	g.errMu.Lock()
 	defer g.errMu.Unlock()
+	g.errPending.Store(false)
 	if len(g.errs) == 0 && g.errDropped == 0 {
 		return nil
 	}
@@ -458,20 +499,41 @@ func (g *Graph) StepSource(id string) (bool, error) {
 // least one producer reports more data.
 func (g *Graph) StepAll() (bool, error) {
 	any := false
-	var errs []error
-	for _, n := range g.Sources() {
-		if _, ok := n.comp.(Producer); !ok {
-			continue
-		}
-		more, err := g.StepSource(n.ID())
+	for _, n := range g.producerList() {
+		more, err := n.step()
 		if err != nil {
-			errs = append(errs, err)
+			g.noteError(err)
 		}
 		if more {
 			any = true
 		}
 	}
-	return any, errors.Join(errs...)
+	return any, g.drainErrors()
+}
+
+// producerList returns the cached Producer source nodes, rebuilding the
+// cache after structural changes. Saturated step loops call this every
+// tick, so the steady state is one RLock and no allocation.
+func (g *Graph) producerList() []*Node {
+	g.mu.RLock()
+	if ps := g.producers; ps != nil {
+		g.mu.RUnlock()
+		return ps
+	}
+	g.mu.RUnlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.producers == nil {
+		ps := make([]*Node, 0, len(g.order))
+		for _, id := range g.order {
+			n := g.nodes[id]
+			if _, ok := n.comp.(Producer); ok && n.spec.IsSource() {
+				ps = append(ps, n)
+			}
+		}
+		g.producers = ps
+	}
+	return g.producers
 }
 
 // Validate checks the graph's structural integrity and returns every

@@ -29,11 +29,20 @@ type Node struct {
 	// clock is the component's logical clock: number of emissions.
 	clock LogicalTime
 	// pending tracks, per upstream source ID, the range of logical times
-	// consumed since the last emission (Fig. 4 span bookkeeping).
-	pending map[string]Span
+	// consumed since the last emission (Fig. 4 span bookkeeping). A node
+	// has at most a handful of upstream sources, so this is a linear-scan
+	// slice rather than a map: no string hashing per consumed sample, no
+	// map iteration per emission. The backing array is reused between
+	// grouping windows.
+	pending []Span
 	// emitted marks that an emission happened after the last consume, so
 	// the next consume starts a fresh pending set.
 	emitted bool
+
+	// selfEmit is the component-output Emit closure, built once at Add
+	// time. Per-delivery closure construction is measurable on the
+	// saturated hot path (one closure per process/step call).
+	selfEmit Emit
 }
 
 // edge is one downstream connection: deliveries go to to's input port.
@@ -188,7 +197,7 @@ func (n *Node) process(port int, s Sample) (err error) {
 		}
 	}
 	n.noteConsumed(s)
-	if perr := n.comp.Process(port, s, n.emitFunc("")); perr != nil {
+	if perr := n.comp.Process(port, s, n.selfEmit); perr != nil {
 		return fmt.Errorf("component %q: %w", n.ID(), perr)
 	}
 	return nil
@@ -206,7 +215,7 @@ func (n *Node) step() (more bool, err error) {
 	if !ok {
 		return false, fmt.Errorf("%w: %q is not a producer", ErrNotProducer, n.ID())
 	}
-	more, serr := p.Step(n.emitFunc(""))
+	more, serr := p.Step(n.selfEmit)
 	if serr != nil {
 		return more, fmt.Errorf("source %q: %w", n.ID(), serr)
 	}
@@ -218,27 +227,24 @@ func (n *Node) noteConsumed(s Sample) {
 	if n.emitted {
 		// First consumption after an emission starts a new grouping
 		// window (Fig. 4: NMEA2's span starts after NMEA1's emission).
-		n.pending = nil
+		n.pending = n.pending[:0]
 		n.emitted = false
 	}
 	if s.Source == "" {
 		return
 	}
-	if n.pending == nil {
-		n.pending = make(map[string]Span, len(n.inbound))
+	for i := range n.pending {
+		if n.pending[i].Source == s.Source {
+			if s.Logical < n.pending[i].From {
+				n.pending[i].From = s.Logical
+			}
+			if s.Logical > n.pending[i].To {
+				n.pending[i].To = s.Logical
+			}
+			return
+		}
 	}
-	sp, ok := n.pending[s.Source]
-	if !ok {
-		n.pending[s.Source] = Span{Source: s.Source, From: s.Logical, To: s.Logical}
-		return
-	}
-	if s.Logical < sp.From {
-		sp.From = s.Logical
-	}
-	if s.Logical > sp.To {
-		sp.To = s.Logical
-	}
-	n.pending[s.Source] = sp
+	n.pending = append(n.pending, Span{Source: s.Source, From: s.Logical, To: s.Logical})
 }
 
 // currentSpans snapshots the pending spans in deterministic order.
@@ -246,11 +252,15 @@ func (n *Node) currentSpans() []Span {
 	if len(n.pending) == 0 {
 		return nil
 	}
-	spans := make([]Span, 0, len(n.pending))
-	for _, sp := range n.pending {
-		spans = append(spans, sp)
+	spans := make([]Span, len(n.pending))
+	copy(spans, n.pending)
+	// Insertion sort: a node has at most a handful of upstreams, and
+	// sort.Slice's closure allocates on every emission.
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0 && spans[j].Source < spans[j-1].Source; j-- {
+			spans[j], spans[j-1] = spans[j-1], spans[j]
+		}
 	}
-	sort.Slice(spans, func(i, j int) bool { return spans[i].Source < spans[j].Source })
 	return spans
 }
 

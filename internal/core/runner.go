@@ -288,6 +288,16 @@ func (r *Runner) driveSource(ctx context.Context, n *Node) {
 		ticker = time.NewTicker(r.interval)
 		defer ticker.Stop()
 	}
+	// Backoff timer, created on first use and reused across restarts.
+	// time.After in the backoff select would leak a timer (and its
+	// goroutine-visible allocation) per restart attempt until it fires:
+	// when ctx wins the race the timer keeps running for the full delay.
+	var backoff *time.Timer
+	defer func() {
+		if backoff != nil {
+			backoff.Stop()
+		}
+	}()
 	attempt := 0
 	for {
 		select {
@@ -325,10 +335,17 @@ func (r *Runner) driveSource(ctx context.Context, n *Node) {
 				}
 				return
 			}
+			if backoff == nil {
+				backoff = time.NewTimer(r.restart.delay(attempt))
+			} else {
+				// The timer is always drained here or stopped by the
+				// deferred Stop, so Reset is safe without a racy drain.
+				backoff.Reset(r.restart.delay(attempt))
+			}
 			select {
 			case <-ctx.Done():
 				return
-			case <-time.After(r.restart.delay(attempt)):
+			case <-backoff.C:
 			}
 			if rerr := rc.Restart(); rerr != nil {
 				// Still down: keep backing off. The failure is reported

@@ -152,13 +152,7 @@ func (n *Node) snapshotStateLocked() (NodeState, error) {
 func (n *Node) restoreStateLocked(st NodeState) error {
 	n.clock = st.Clock
 	n.emitted = st.Emitted
-	n.pending = nil
-	if len(st.Pending) > 0 {
-		n.pending = make(map[string]Span, len(st.Pending))
-		for _, sp := range st.Pending {
-			n.pending[sp.Source] = sp
-		}
-	}
+	n.pending = append(n.pending[:0], st.Pending...)
 	if len(st.Component) == 0 {
 		return nil
 	}

@@ -120,6 +120,8 @@ func RunE3() (Result, error) {
 }
 
 // treeCollector is a channel feature that stores every delivered tree.
+// Delivered trees are pool-owned, so each one is detached before being
+// retained.
 type treeCollector struct {
 	trees []*channel.DataTree
 }
@@ -127,5 +129,5 @@ type treeCollector struct {
 func (t *treeCollector) FeatureName() string { return "tree-collector" }
 
 func (t *treeCollector) Apply(tree *channel.DataTree) {
-	t.trees = append(t.trees, tree)
+	t.trees = append(t.trees, tree.Detach())
 }

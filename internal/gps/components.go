@@ -72,6 +72,17 @@ type Interpreter struct {
 
 	lastSpeedMS float64
 	emitted     int
+	// attrCache holds shared attrs snapshots keyed by speed, for
+	// positions whose input carries no attrs of its own. Wire speeds are
+	// quantised to 0.1 kn so a session sees few distinct values; attr
+	// maps are copy-on-write by convention (Sample.WithAttr), so sharing
+	// one map across emissions is safe and avoids a map allocation plus
+	// a float box per position.
+	attrCache [16]struct {
+		speed float64
+		attrs map[string]any
+	}
+	attrNext int
 }
 
 var _ core.Component = (*Interpreter)(nil)
@@ -115,8 +126,12 @@ func (i *Interpreter) Process(_ int, in core.Sample, emit core.Emit) error {
 		// Carry the measurement's feature-attached detail (HDOP,
 		// satellite count) forward: consumers asked for it by attaching
 		// the features upstream.
-		out.Attrs = in.Attrs
-		out = out.WithAttr("speedMS", i.lastSpeedMS)
+		if in.Attrs == nil {
+			out.Attrs = i.speedAttrs()
+		} else {
+			out.Attrs = in.Attrs
+			out = out.WithAttr("speedMS", i.lastSpeedMS)
+		}
 		emit(out)
 	case nmea.RMC:
 		if s.Valid {
@@ -124,6 +139,23 @@ func (i *Interpreter) Process(_ int, in core.Sample, emit core.Emit) error {
 		}
 	}
 	return nil
+}
+
+// speedAttrs returns a shared {"speedMS": lastSpeedMS} snapshot,
+// reusing a previously built map for a repeated speed value.
+func (i *Interpreter) speedAttrs() map[string]any {
+	for idx := range i.attrCache {
+		if e := &i.attrCache[idx]; e.attrs != nil && e.speed == i.lastSpeedMS {
+			return e.attrs
+		}
+	}
+	m := map[string]any{"speedMS": i.lastSpeedMS}
+	i.attrCache[i.attrNext] = struct {
+		speed float64
+		attrs map[string]any
+	}{i.lastSpeedMS, m}
+	i.attrNext = (i.attrNext + 1) % len(i.attrCache)
+	return m
 }
 
 // Emitted returns the number of positions produced.

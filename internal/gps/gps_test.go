@@ -563,7 +563,7 @@ func TestParserStatsFeature(t *testing.T) {
 	}
 
 	emit := func(core.Sample) {}
-	good := mustFormat(nmea.GGA{Quality: nmea.FixGPS, Lat: 56, Lon: 10, NumSatellites: 8, HDOP: 1})
+	good := nmea.GGA{Quality: nmea.FixGPS, Lat: 56, Lon: 10, NumSatellites: 8, HDOP: 1}.Format()
 	for _, raw := range []string{good, "garbage", good, "more garbage"} {
 		if err := g.Deliver("parser", 0, core.NewSample(KindRaw, raw, time.Time{})); err != nil {
 			t.Fatal(err)

@@ -86,6 +86,10 @@ type Config struct {
 	IndoorDriftRate float64
 	// Seed makes the simulation deterministic.
 	Seed int64
+	// Loop wraps back to the start of the trace instead of exhausting,
+	// turning the receiver into an endless source — what saturation
+	// benchmarks and soak runs drive flat-out.
+	Loop bool
 }
 
 func (c Config) withDefaults() Config {
@@ -114,10 +118,11 @@ func (c Config) withDefaults() Config {
 // ground-truth trace and emits raw NMEA strings each epoch. It
 // implements PowerControllable for EnTracked-style duty cycling.
 type Receiver struct {
-	id  string
-	cfg Config
-	tr  *trace.Trace
-	rng *rand.Rand
+	id   string
+	cfg  Config
+	tr   *trace.Trace
+	rng  *rand.Rand
+	proj *geo.Projection // trace-origin projection, built once
 
 	now         time.Time
 	end         time.Time
@@ -131,6 +136,10 @@ type Receiver struct {
 
 	emitted    int
 	epochCount int
+
+	// gsvSats is formatting scratch for one GSV sentence; the formatted
+	// string never aliases it, so reuse across epochs is safe.
+	gsvSats [4]nmea.SatelliteInView
 }
 
 var _ core.Producer = (*Receiver)(nil)
@@ -160,6 +169,7 @@ func NewReceiver(id string, tr *trace.Trace, cfg Config, opts ...ReceiverOption)
 		cfg:  cfg,
 		tr:   tr,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		proj: geo.NewProjection(tr.Origin),
 		mode: ModeAcquiring,
 	}
 	r.acquireLeft = cfg.ColdStart
@@ -237,8 +247,14 @@ func (r *Receiver) Emitted() int { return r.emitted }
 // Step implements core.Producer: advance one epoch and emit the epoch's
 // NMEA output.
 func (r *Receiver) Step(emit core.Emit) (bool, error) {
-	if r.tr.Len() == 0 || r.now.After(r.end) {
+	if r.tr.Len() == 0 {
 		return false, nil
+	}
+	if r.now.After(r.end) {
+		if !r.cfg.Loop {
+			return false, nil
+		}
+		r.now = r.tr.Points[0].Time
 	}
 	truth, _ := r.tr.At(r.now)
 
@@ -260,7 +276,7 @@ func (r *Receiver) Step(emit core.Emit) (bool, error) {
 	}
 
 	r.now = r.now.Add(r.cfg.Epoch)
-	return !r.now.After(r.end), nil
+	return r.cfg.Loop || !r.now.After(r.end), nil
 }
 
 // emitEpoch produces the sentences for one tracking epoch.
@@ -274,7 +290,6 @@ func (r *Receiver) emitEpoch(emit core.Emit, truth trace.Point) {
 		return
 	}
 
-	proj := geo.NewProjection(r.tr.Origin)
 	local := truth.Local
 	sigma := hdop * r.cfg.UERE
 	if truth.Indoor {
@@ -290,7 +305,7 @@ func (r *Receiver) emitEpoch(emit core.Emit, truth trace.Point) {
 	}
 	local.East += r.rng.NormFloat64() * sigma
 	local.North += r.rng.NormFloat64() * sigma
-	fix := proj.ToGlobal(local)
+	fix := r.proj.ToGlobal(local)
 
 	gga := nmea.GGA{
 		Time:          r.now,
@@ -301,7 +316,7 @@ func (r *Receiver) emitEpoch(emit core.Emit, truth trace.Point) {
 		HDOP:          round1(hdop),
 		Altitude:      55,
 	}
-	r.emitRaw(emit, mustFormat(gga))
+	r.emitRaw(emit, gga.Format())
 
 	speedKn := truth.Speed / 0.514444 * (1 + r.rng.NormFloat64()*0.1)
 	if speedKn < 0 {
@@ -315,7 +330,7 @@ func (r *Receiver) emitEpoch(emit core.Emit, truth trace.Point) {
 		SpeedKn: round1(speedKn),
 		CourseT: round1(truth.Heading),
 	}
-	r.emitRaw(emit, mustFormat(rmc))
+	r.emitRaw(emit, rmc.Format())
 
 	gsa := nmea.GSA{
 		Auto:    true,
@@ -325,40 +340,41 @@ func (r *Receiver) emitEpoch(emit core.Emit, truth trace.Point) {
 		HDOP:    round1(hdop),
 		VDOP:    round1(hdop * 1.1),
 	}
-	r.emitRaw(emit, mustFormat(gsa))
+	r.emitRaw(emit, gsa.Format())
 
 	// A satellites-in-view report every fifth epoch, like real
 	// receivers interleave the slow GSV group.
 	r.epochCount++
 	if r.epochCount%5 == 0 {
-		for _, line := range r.gsvGroup(sats) {
-			r.emitRaw(emit, line)
-		}
+		r.emitGSVGroup(emit, sats)
 	}
 }
 
-// gsvGroup renders the satellites-in-view sentences for the current
-// constellation (up to 4 satellites per sentence).
-func (r *Receiver) gsvGroup(sats int) []string {
+// emitGSVGroup emits the satellites-in-view sentences for the current
+// constellation (up to 4 satellites per sentence), formatting each one
+// out of the receiver's scratch buffer.
+func (r *Receiver) emitGSVGroup(emit core.Emit, sats int) {
 	ids := prns(sats)
 	total := (len(ids) + 3) / 4
-	if total == 0 {
-		return nil
-	}
-	var out []string
 	for msg := 0; msg < total; msg++ {
-		g := nmea.GSV{TotalMsgs: total, MsgNum: msg + 1, TotalInView: len(ids)}
+		n := 0
 		for i := msg * 4; i < len(ids) && i < (msg+1)*4; i++ {
-			g.Satellites = append(g.Satellites, nmea.SatelliteInView{
+			r.gsvSats[n] = nmea.SatelliteInView{
 				PRN:       ids[i],
 				Elevation: 15 + (ids[i]*7)%70,
 				Azimuth:   (ids[i] * 37) % 360,
 				SNR:       30 + r.rng.Intn(15),
-			})
+			}
+			n++
 		}
-		out = append(out, mustFormat(g))
+		g := nmea.GSV{
+			TotalMsgs:   total,
+			MsgNum:      msg + 1,
+			TotalInView: len(ids),
+			Satellites:  r.gsvSats[:n],
+		}
+		r.emitRaw(emit, g.Format())
 	}
-	return out
 }
 
 // environment returns the satellite count and HDOP at a ground-truth
@@ -376,12 +392,12 @@ func (r *Receiver) environment(truth trace.Point) (sats int, hdop float64) {
 }
 
 func (r *Receiver) noFixGGA() string {
-	return mustFormat(nmea.GGA{
+	return nmea.GGA{
 		Time:          r.now,
 		Quality:       nmea.FixInvalid,
 		NumSatellites: r.lastSats,
 		HDOP:          99.9,
-	})
+	}.Format()
 }
 
 func (r *Receiver) emitRaw(emit core.Emit, line string) {
@@ -389,22 +405,18 @@ func (r *Receiver) emitRaw(emit core.Emit, line string) {
 	emit(core.NewSample(KindRaw, line, r.now))
 }
 
-// mustFormat formats a sentence the simulator constructed itself; a
-// failure is a programming error.
-func mustFormat(s nmea.Sentence) string {
-	raw, err := nmea.Format(s)
-	if err != nil {
-		panic(err)
-	}
-	return raw
-}
+// prnTable is the simulator's fixed constellation: PRNs 2..13. prns
+// returns read-only views of it, so callers must not mutate the result.
+var prnTable = [...]int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
 
 func prns(n int) []int {
-	out := make([]int, 0, n)
-	for i := 0; i < n && i < 12; i++ {
-		out = append(out, i+2)
+	if n > len(prnTable) {
+		n = len(prnTable)
 	}
-	return out
+	if n < 0 {
+		n = 0
+	}
+	return prnTable[:n]
 }
 
 func round1(v float64) float64 { return math.Round(v*10) / 10 }

@@ -3,128 +3,273 @@ package nmea
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"time"
 )
 
+// Formatting is on the saturated hot path (the simulated receiver
+// renders every epoch's sentence group), so sentences are assembled
+// with strconv.Append* into a strings.Builder instead of fmt — one
+// allocation per sentence (the final string), no interface boxing.
+
 // Frame wraps a payload (without '$' or checksum) into a complete
 // sentence with checksum and CRLF, ready to be emitted by a receiver.
 func Frame(payload string) string {
-	return fmt.Sprintf("$%s*%02X\r\n", payload, Checksum(payload))
+	var b strings.Builder
+	b.Grow(len(payload) + 7)
+	b.WriteByte('$')
+	b.WriteString(payload)
+	writeChecksum(&b, Checksum(payload))
+	return b.String()
+}
+
+// writeChecksum appends "*HH\r\n" for the given checksum byte.
+func writeChecksum(b *strings.Builder, sum byte) {
+	const hexDigits = "0123456789ABCDEF"
+	b.WriteByte('*')
+	b.WriteByte(hexDigits[sum>>4])
+	b.WriteByte(hexDigits[sum&0xF])
+	b.WriteString("\r\n")
+}
+
+// finish frames the payload accumulated in buf (which must NOT include
+// the leading '$') into a complete sentence string.
+func finish(buf []byte) string {
+	var sum byte
+	for _, c := range buf {
+		sum ^= c
+	}
+	var b strings.Builder
+	b.Grow(len(buf) + 6)
+	b.WriteByte('$')
+	b.Write(buf)
+	writeChecksum(&b, sum)
+	return b.String()
 }
 
 // Format renders a sentence back into its framed wire form. It supports
 // the same sentence types as Parse; Parse(Format(s)) round-trips the
 // fields up to the wire precision (1e-4 minutes, i.e. ~0.2 m).
+//
+// Hot-path producers that hold a concrete sentence value should call
+// its Format method directly — passing through the Sentence interface
+// boxes the value on the heap per call.
 func Format(s Sentence) (string, error) {
 	switch v := s.(type) {
 	case GGA:
-		return formatGGA(v), nil
+		return v.Format(), nil
 	case RMC:
-		return formatRMC(v), nil
+		return v.Format(), nil
 	case GSA:
-		return formatGSA(v), nil
+		return v.Format(), nil
 	case GSV:
-		return formatGSV(v), nil
+		return v.Format(), nil
 	default:
 		return "", fmt.Errorf("%w: %T", ErrUnknownType, s)
 	}
 }
 
+// Format renders the sentence in framed wire form.
+func (g GGA) Format() string { return formatGGA(g) }
+
+// Format renders the sentence in framed wire form.
+func (r RMC) Format() string { return formatRMC(r) }
+
+// Format renders the sentence in framed wire form.
+func (g GSA) Format() string { return formatGSA(g) }
+
+// Format renders the sentence in framed wire form.
+func (g GSV) Format() string { return formatGSV(g) }
+
+// appendIntPad appends v zero-padded to the given width.
+func appendIntPad(p []byte, v, width int) []byte {
+	if v < 0 {
+		v = 0
+	}
+	digits := 1
+	for n := v; n >= 10; n /= 10 {
+		digits++
+	}
+	for i := digits; i < width; i++ {
+		p = append(p, '0')
+	}
+	return strconv.AppendInt(p, int64(v), 10)
+}
+
+// appendFixed appends v with one decimal place ("%.1f"). Wire fields
+// using it are quantised to one decimal anyway, so the value is scaled
+// to tenths and rendered with integer appends — strconv's general
+// float-to-decimal path (rightShift/decimal.Assign) dominated the
+// saturated-bench CPU profile before this.
+func appendFixed(p []byte, v float64) []byte {
+	if v < 0 {
+		scaled := int64(-v*10 + 0.5)
+		if scaled != 0 {
+			p = append(p, '-')
+		}
+		return appendScaled(p, scaled, 1)
+	}
+	return appendScaled(p, int64(v*10+0.5), 1)
+}
+
+// appendScaled appends scaled/10^dec with exactly dec decimal digits.
+func appendScaled(p []byte, scaled int64, dec int) []byte {
+	pow := int64(1)
+	for i := 0; i < dec; i++ {
+		pow *= 10
+	}
+	p = strconv.AppendInt(p, scaled/pow, 10)
+	p = append(p, '.')
+	frac := scaled % pow
+	for pow /= 10; pow > 1; pow /= 10 {
+		if frac < pow {
+			p = append(p, '0')
+		}
+	}
+	return strconv.AppendInt(p, frac, 10)
+}
+
 func formatGGA(g GGA) string {
-	payload := fmt.Sprintf("GPGGA,%s,%s,%s,%d,%02d,%.1f,%.1f,M,0.0,M,,",
-		formatUTC(g.Time),
-		formatLatLon(g.Lat, true),
-		formatLatLon(g.Lon, false),
-		int(g.Quality),
-		g.NumSatellites,
-		g.HDOP,
-		g.Altitude,
-	)
-	return Frame(payload)
+	buf := make([]byte, 0, 80)
+	buf = append(buf, "GPGGA,"...)
+	buf = appendUTC(buf, g.Time)
+	buf = append(buf, ',')
+	buf = appendLatLon(buf, g.Lat, true)
+	buf = append(buf, ',')
+	buf = appendLatLon(buf, g.Lon, false)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(g.Quality), 10)
+	buf = append(buf, ',')
+	buf = appendIntPad(buf, g.NumSatellites, 2)
+	buf = append(buf, ',')
+	buf = appendFixed(buf, g.HDOP)
+	buf = append(buf, ',')
+	buf = appendFixed(buf, g.Altitude)
+	buf = append(buf, ",M,0.0,M,,"...)
+	return finish(buf)
 }
 
 func formatRMC(r RMC) string {
-	status := "V"
+	buf := make([]byte, 0, 80)
+	buf = append(buf, "GPRMC,"...)
+	buf = appendUTC(buf, r.Time)
 	if r.Valid {
-		status = "A"
+		buf = append(buf, ",A,"...)
+	} else {
+		buf = append(buf, ",V,"...)
 	}
-	date := ""
+	buf = appendLatLon(buf, r.Lat, true)
+	buf = append(buf, ',')
+	buf = appendLatLon(buf, r.Lon, false)
+	buf = append(buf, ',')
+	buf = appendFixed(buf, r.SpeedKn)
+	buf = append(buf, ',')
+	buf = appendFixed(buf, r.CourseT)
+	buf = append(buf, ',')
 	if !r.Time.IsZero() {
-		date = r.Time.Format("020106")
+		// ddmmyy
+		buf = appendIntPad(buf, r.Time.Day(), 2)
+		buf = appendIntPad(buf, int(r.Time.Month()), 2)
+		buf = appendIntPad(buf, r.Time.Year()%100, 2)
 	}
-	payload := fmt.Sprintf("GPRMC,%s,%s,%s,%s,%.1f,%.1f,%s,,",
-		formatUTC(r.Time),
-		status,
-		formatLatLon(r.Lat, true),
-		formatLatLon(r.Lon, false),
-		r.SpeedKn,
-		r.CourseT,
-		date,
-	)
-	return Frame(payload)
+	buf = append(buf, ",,"...)
+	return finish(buf)
 }
 
 func formatGSA(g GSA) string {
-	mode := "M"
+	buf := make([]byte, 0, 80)
+	buf = append(buf, "GPGSA,"...)
 	if g.Auto {
-		mode = "A"
+		buf = append(buf, 'A')
+	} else {
+		buf = append(buf, 'M')
 	}
-	prns := make([]string, 12)
-	for i := range prns {
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(g.FixMode), 10)
+	for i := 0; i < 12; i++ {
+		buf = append(buf, ',')
 		if i < len(g.PRNs) {
-			prns[i] = fmt.Sprintf("%02d", g.PRNs[i])
+			buf = appendIntPad(buf, g.PRNs[i], 2)
 		}
 	}
-	payload := fmt.Sprintf("GPGSA,%s,%d,%s,%.1f,%.1f,%.1f",
-		mode, g.FixMode, strings.Join(prns, ","), g.PDOP, g.HDOP, g.VDOP)
-	return Frame(payload)
+	buf = append(buf, ',')
+	buf = appendFixed(buf, g.PDOP)
+	buf = append(buf, ',')
+	buf = appendFixed(buf, g.HDOP)
+	buf = append(buf, ',')
+	buf = appendFixed(buf, g.VDOP)
+	return finish(buf)
 }
 
 func formatGSV(g GSV) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "GPGSV,%d,%d,%02d", g.TotalMsgs, g.MsgNum, g.TotalInView)
+	buf := make([]byte, 0, 96)
+	buf = append(buf, "GPGSV,"...)
+	buf = strconv.AppendInt(buf, int64(g.TotalMsgs), 10)
+	buf = append(buf, ',')
+	buf = strconv.AppendInt(buf, int64(g.MsgNum), 10)
+	buf = append(buf, ',')
+	buf = appendIntPad(buf, g.TotalInView, 2)
 	for _, sv := range g.Satellites {
-		snr := ""
+		buf = append(buf, ',')
+		buf = appendIntPad(buf, sv.PRN, 2)
+		buf = append(buf, ',')
+		buf = appendIntPad(buf, sv.Elevation, 2)
+		buf = append(buf, ',')
+		buf = appendIntPad(buf, sv.Azimuth, 3)
+		buf = append(buf, ',')
 		if sv.SNR > 0 {
-			snr = fmt.Sprintf("%02d", sv.SNR)
+			buf = appendIntPad(buf, sv.SNR, 2)
 		}
-		fmt.Fprintf(&b, ",%02d,%02d,%03d,%s", sv.PRN, sv.Elevation, sv.Azimuth, snr)
 	}
-	return Frame(b.String())
+	return finish(buf)
 }
 
-// formatUTC renders hhmmss.ss. Zero times render as an empty field.
-func formatUTC(t time.Time) string {
+// appendUTC appends hhmmss.ss. Zero times append an empty field.
+func appendUTC(p []byte, t time.Time) []byte {
 	if t.IsZero() {
-		return ""
+		return p
 	}
-	return t.Format("150405.00")
+	p = appendIntPad(p, t.Hour(), 2)
+	p = appendIntPad(p, t.Minute(), 2)
+	p = appendIntPad(p, t.Second(), 2)
+	p = append(p, '.')
+	return appendIntPad(p, t.Nanosecond()/1e7, 2)
 }
 
-// formatLatLon renders signed decimal degrees as "ddmm.mmmm,H".
-func formatLatLon(dd float64, isLat bool) string {
-	hemi := "N"
+// appendLatLon appends signed decimal degrees as "ddmm.mmmm,H".
+func appendLatLon(p []byte, dd float64, isLat bool) []byte {
+	hemi := byte('N')
 	if isLat {
 		if dd < 0 {
-			hemi = "S"
+			hemi = 'S'
 		}
 	} else {
-		hemi = "E"
+		hemi = 'E'
 		if dd < 0 {
-			hemi = "W"
+			hemi = 'W'
 		}
 	}
 	dd = math.Abs(dd)
 	deg := math.Floor(dd)
-	minutes := (dd - deg) * 60
-	// Guard against 60.0000 minutes after rounding.
-	if minutes >= 59.99995 {
-		minutes = 0
+	// Minutes carry four decimals on the wire, so they are rendered in
+	// integer ten-thousandths; rounding up to 60.0000 carries into the
+	// degrees instead.
+	scaled := int64((dd-deg)*60*10000 + 0.5)
+	if scaled >= 600000 {
+		scaled = 0
 		deg++
 	}
-	if isLat {
-		return fmt.Sprintf("%02d%07.4f,%s", int(deg), minutes, hemi)
+	degWidth := 2
+	if !isLat {
+		degWidth = 3
 	}
-	return fmt.Sprintf("%03d%07.4f,%s", int(deg), minutes, hemi)
+	p = appendIntPad(p, int(deg), degWidth)
+	// %07.4f: minutes zero-padded to two integer digits.
+	if scaled < 100000 {
+		p = append(p, '0')
+	}
+	p = appendScaled(p, scaled, 4)
+	p = append(p, ',', hemi)
+	return p
 }

@@ -131,6 +131,31 @@ func Checksum(payload string) byte {
 	return sum
 }
 
+// maxFields is the widest supported sentence: GSV with four satellite
+// blocks (4 header + 4×4 fields).
+const maxFields = 20
+
+// splitFields splits the payload on commas into dst without allocating
+// a fresh slice per sentence (this runs once per sentence on the
+// saturated hot path). Returns the field count, or -1 when the payload
+// has more fields than any supported sentence.
+func splitFields(payload string, dst *[maxFields]string) int {
+	n := 0
+	for {
+		if n == maxFields {
+			return -1
+		}
+		i := strings.IndexByte(payload, ',')
+		if i < 0 {
+			dst[n] = payload
+			return n + 1
+		}
+		dst[n] = payload[:i]
+		n++
+		payload = payload[i+1:]
+	}
+}
+
 // Parse parses a single framed NMEA sentence ("$GPxxx,...*hh" with
 // optional trailing CR/LF) into a typed Sentence value.
 func Parse(raw string) (Sentence, error) {
@@ -138,7 +163,12 @@ func Parse(raw string) (Sentence, error) {
 	if err != nil {
 		return nil, err
 	}
-	fields := strings.Split(payload, ",")
+	var fieldBuf [maxFields]string
+	nf := splitFields(payload, &fieldBuf)
+	if nf < 0 {
+		return nil, fmt.Errorf("%w: too many fields in %q", ErrFieldCount, payload)
+	}
+	fields := fieldBuf[:nf]
 	talkerType := fields[0]
 	if len(talkerType) != 5 {
 		return nil, fmt.Errorf("%w: bad talker/type %q", ErrFraming, talkerType)
@@ -272,6 +302,9 @@ func parseGSA(f []string) (Sentence, error) {
 		if err != nil {
 			return nil, err
 		}
+		if g.PRNs == nil {
+			g.PRNs = make([]int, 0, 12)
+		}
 		g.PRNs = append(g.PRNs, prn)
 	}
 	if g.PDOP, err = parseFloat(f[15], "pdop"); err != nil {
@@ -302,6 +335,7 @@ func parseGSV(f []string) (Sentence, error) {
 	if g.TotalInView, err = parseInt(f[3], "in view"); err != nil {
 		return nil, err
 	}
+	g.Satellites = make([]SatelliteInView, 0, (len(f)-4)/4)
 	for i := 4; i+4 <= len(f); i += 4 {
 		var sv SatelliteInView
 		if sv.PRN, err = parseInt(f[i], "prn"); err != nil {
@@ -333,7 +367,11 @@ func parseUTC(hms, date string) (time.Time, error) {
 	}
 	h, err1 := strconv.Atoi(hms[0:2])
 	m, err2 := strconv.Atoi(hms[2:4])
-	secf, err3 := strconv.ParseFloat(hms[4:], 64)
+	secf, ok := parseDecimal(hms[4:])
+	var err3 error
+	if !ok {
+		secf, err3 = strconv.ParseFloat(hms[4:], 64)
+	}
 	if err1 != nil || err2 != nil || err3 != nil || h > 23 || m > 59 || secf >= 61 {
 		return time.Time{}, fmt.Errorf("%w: time %q", ErrBadField, hms)
 	}
@@ -373,8 +411,15 @@ func parseLatLon(v, hemi string, isLat bool) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("%w: coordinate %q", ErrBadField, v)
 	}
-	minutes, err := strconv.ParseFloat(v[degDigits:], 64)
-	if err != nil || minutes >= 60 {
+	minutes, ok := parseDecimal(v[degDigits:])
+	if !ok {
+		var err error
+		minutes, err = strconv.ParseFloat(v[degDigits:], 64)
+		if err != nil {
+			return 0, fmt.Errorf("%w: coordinate minutes %q", ErrBadField, v)
+		}
+	}
+	if minutes >= 60 {
 		return 0, fmt.Errorf("%w: coordinate minutes %q", ErrBadField, v)
 	}
 	dd := float64(deg) + minutes/60
@@ -386,6 +431,48 @@ func parseLatLon(v, hemi string, isLat bool) (float64, error) {
 	default:
 		return 0, fmt.Errorf("%w: hemisphere %q", ErrBadField, hemi)
 	}
+}
+
+// parseDecimal parses a plain unsigned decimal ("x", "x.y") directly;
+// ok=false sends the caller to strconv.ParseFloat for anything fancier
+// (signs, exponents, overlong digit runs). Wire fields are short fixed
+// forms, so this covers the hot path without strconv's general
+// float-decoding machinery.
+func parseDecimal(v string) (float64, bool) {
+	n := len(v)
+	if n == 0 || n > 18 {
+		return 0, false
+	}
+	var ip uint64
+	i := 0
+	for ; i < n; i++ {
+		c := v[i]
+		if c == '.' {
+			break
+		}
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		ip = ip*10 + uint64(c-'0')
+	}
+	if i == n {
+		return float64(ip), true
+	}
+	i++ // skip '.'
+	if i == n {
+		return 0, false
+	}
+	var frac uint64
+	scale := 1.0
+	for ; i < n; i++ {
+		c := v[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		frac = frac*10 + uint64(c-'0')
+		scale *= 10
+	}
+	return float64(ip) + float64(frac)/scale, true
 }
 
 func parseInt(v, what string) (int, error) {
@@ -402,6 +489,18 @@ func parseInt(v, what string) (int, error) {
 func parseFloat(v, what string) (float64, error) {
 	if v == "" {
 		return 0, nil
+	}
+	s := v
+	neg := false
+	if s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	if f, ok := parseDecimal(s); ok {
+		if neg {
+			f = -f
+		}
+		return f, nil
 	}
 	f, err := strconv.ParseFloat(v, 64)
 	if err != nil {

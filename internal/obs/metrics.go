@@ -42,10 +42,11 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// histBuckets is the number of power-of-two histogram buckets. Bucket i
-// holds observations with value < 2^i (bucket 0: value <= 1), so for
-// nanosecond latencies the range runs from 1ns to ~34s before the
-// overflow bucket catches the rest.
+// histBuckets is the number of power-of-two histogram buckets. Bucket 0
+// holds observations with value <= 1 (negatives are clamped to 0);
+// bucket i (i >= 1) holds 2^(i-1) < value <= 2^i, so for nanosecond
+// latencies the range runs from 1ns to ~34s before the overflow bucket
+// catches the rest.
 const histBuckets = 36
 
 // Histogram is a lock-free log2-bucketed distribution of non-negative
@@ -63,13 +64,17 @@ type Histogram struct {
 	buckets [histBuckets]atomic.Uint64
 }
 
-// bucketOf returns the bucket index for value v: the number of bits
-// needed to represent it, capped at the overflow bucket.
+// bucketOf returns the bucket index for value v per the histBuckets
+// contract: 0 for v <= 1, else the smallest i with v <= 2^i, capped at
+// the overflow bucket. bits.Len64(v-1) is that smallest i — the
+// previous bits.Len64(v) put exact powers of two (including 1) one
+// bucket too high, making every quantile bound for them twice the
+// true value.
 func bucketOf(v int64) int {
-	if v < 0 {
-		v = 0
+	if v <= 1 {
+		return 0
 	}
-	b := bits.Len64(uint64(v))
+	b := bits.Len64(uint64(v - 1))
 	if b >= histBuckets {
 		return histBuckets - 1
 	}
@@ -146,7 +151,7 @@ func quantile(counts *[histBuckets]uint64, total uint64, q float64) int64 {
 			if i >= 63 {
 				return int64(^uint64(0) >> 1)
 			}
-			return (int64(1) << i) - 1 // bucket i holds values < 2^i
+			return int64(1) << i // bucket i holds values <= 2^i
 		}
 	}
 	return 0

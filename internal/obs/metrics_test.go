@@ -53,14 +53,78 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 	// Quantiles are log2-bucket upper bounds: within 2x above the true
 	// value, never below it.
-	if s.P50 < 500 || s.P50 > 1023 {
-		t.Errorf("p50 = %d, want in [500, 1023]", s.P50)
+	if s.P50 < 500 || s.P50 > 1024 {
+		t.Errorf("p50 = %d, want in [500, 1024]", s.P50)
 	}
-	if s.P99 < 990 || s.P99 > 1023 {
-		t.Errorf("p99 = %d, want in [990, 1023]", s.P99)
+	if s.P99 < 990 || s.P99 > 1024 {
+		t.Errorf("p99 = %d, want in [990, 1024]", s.P99)
 	}
 	if s.Mean < 500 || s.Mean > 501 {
 		t.Errorf("mean = %f, want ~500.5", s.Mean)
+	}
+}
+
+// TestBucketOfBoundaries pins the documented bucket contract at its
+// boundaries: bucket 0 holds value <= 1, bucket i holds
+// 2^(i-1) < value <= 2^i. Exact powers of two sit in the bucket whose
+// upper bound they equal — the regression here was bits.Len64(v)
+// pushing them one bucket up.
+func TestBucketOfBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-1 << 40, 0}, // negatives clamp into bucket 0
+		{-1, 0},
+		{0, 0},
+		{1, 0}, // documented: bucket 0 holds value <= 1
+		{2, 1}, // 2^1 at its own bucket's upper bound
+		{3, 2},
+		{4, 2}, // 2^2
+		{5, 3},
+		{8, 3},  // 2^3
+		{9, 4},  // just past 2^3
+		{15, 4}, // just under 2^4
+		{16, 4}, // 2^4
+		{17, 5},
+		{1 << 20, 20},
+		{(1 << 20) + 1, 21},
+		{1 << 34, 34},
+		{1 << 35, 35},              // last regular bucket
+		{(1 << 35) + 1, 35},        // overflow clamps to the last bucket
+		{1 << 62, histBuckets - 1}, // deep overflow
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.v); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileUpperBounds verifies quantile estimates are bucket upper
+// bounds — at least the true value, at most twice it — including for
+// values of exactly 1 and exact powers of two.
+func TestQuantileUpperBounds(t *testing.T) {
+	cases := []struct {
+		observe []int64
+		want    int64 // p50 == the single bucket's upper bound
+	}{
+		{[]int64{0}, 1},
+		{[]int64{1}, 1}, // ones report as 1, not 0
+		{[]int64{2}, 2}, // powers of two report exactly, not doubled
+		{[]int64{4}, 4},
+		{[]int64{1024}, 1024},
+		{[]int64{3}, 4},
+		{[]int64{1000}, 1024},
+	}
+	for _, tc := range cases {
+		var h Histogram
+		for _, v := range tc.observe {
+			h.Observe(v)
+		}
+		if got := h.Snapshot().P50; got != tc.want {
+			t.Errorf("P50 after observing %v = %d, want %d", tc.observe, got, tc.want)
+		}
 	}
 }
 

@@ -145,8 +145,10 @@ func InstrumentGraph(g *core.Graph, opts ...TraceOption) error {
 
 // ChannelTrace is the Trace Channel Feature: it retains the data tree
 // of the channel's most recent delivery so inspection tooling can
-// format the end-to-end trace after a replay. Apply is one pointer
-// store; the formatting cost is paid only when asked for.
+// format the end-to-end trace after a replay. Delivered trees are
+// pooled by the layer, so Apply detaches its copy — tracing trades one
+// deep copy per delivery for post-hoc inspectability, which is the
+// documented cost of enabling it.
 type ChannelTrace struct {
 	mu   sync.Mutex
 	last *channel.DataTree
@@ -162,8 +164,9 @@ func (c *ChannelTrace) FeatureName() string { return TraceFeatureName }
 
 // Apply implements channel.Feature.
 func (c *ChannelTrace) Apply(tree *channel.DataTree) {
+	detached := tree.Detach()
 	c.mu.Lock()
-	c.last = tree
+	c.last = detached
 	c.mu.Unlock()
 }
 

@@ -20,10 +20,14 @@ type Provider struct {
 	name string
 	info ProviderInfo
 
-	mu        sync.Mutex
-	last      Position
-	hasLast   bool
-	subs      map[int]func(Position)
+	mu      sync.Mutex
+	last    Position
+	hasLast bool
+	subs    map[int]func(Position)
+	// subList is an immutable snapshot of subs in registration order,
+	// rebuilt on subscribe/cancel, so Deliver does not copy the
+	// subscriber set on every position.
+	subList   []func(Position)
 	proxSubs  map[int]*proximityWatch
 	avail     Availability
 	availSubs map[int]func(Availability)
@@ -85,11 +89,29 @@ func (p *Provider) Subscribe(fn func(Position)) (cancel func()) {
 	id := p.nextID
 	p.nextID++
 	p.subs[id] = fn
+	p.rebuildSubListLocked()
 	return func() {
 		p.mu.Lock()
 		defer p.mu.Unlock()
 		delete(p.subs, id)
+		p.rebuildSubListLocked()
 	}
+}
+
+// rebuildSubListLocked snapshots subs in registration order. Called with
+// p.mu held; Deliver reads the snapshot and never mutates it.
+func (p *Provider) rebuildSubListLocked() {
+	if len(p.subs) == 0 {
+		p.subList = nil
+		return
+	}
+	lst := make([]func(Position), 0, len(p.subs))
+	for id := 0; id < p.nextID; id++ {
+		if fn, ok := p.subs[id]; ok {
+			lst = append(lst, fn)
+		}
+	}
+	p.subList = lst
 }
 
 // NotifyRoomChange registers a notification firing whenever the
@@ -146,10 +168,7 @@ func (p *Provider) Deliver(pos Position) {
 	p.mu.Lock()
 	p.last = pos
 	p.hasLast = true
-	subs := make([]func(Position), 0, len(p.subs))
-	for _, fn := range p.subs {
-		subs = append(subs, fn)
-	}
+	subs := p.subList
 	var fired []func(Position)
 	for _, w := range p.proxSubs {
 		inside := pos.Global.DistanceTo(w.center) <= w.radius
@@ -170,11 +189,16 @@ func (p *Provider) Deliver(pos Position) {
 
 // NewProviderSink returns the Processing Component that terminates a
 // pipeline into a Provider: the "application root" of the processing
-// tree from the middleware's perspective.
+// tree from the middleware's perspective. The Provider keeps the
+// current position itself, so the sink retains only a single sample —
+// unbounded recording would grow without limit in long-running
+// sessions.
 func NewProviderSink(id string, p *Provider) *core.Sink {
-	return core.NewSink(id, []core.Kind{KindPosition}, core.WithCallback(func(s core.Sample) {
-		if pos, ok := s.Payload.(Position); ok {
-			p.Deliver(pos)
-		}
-	}))
+	return core.NewSink(id, []core.Kind{KindPosition},
+		core.WithKeep(1),
+		core.WithCallback(func(s core.Sample) {
+			if pos, ok := s.Payload.(Position); ok {
+				p.Deliver(pos)
+			}
+		}))
 }

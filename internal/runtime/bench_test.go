@@ -172,6 +172,111 @@ func benchSessions(b *testing.B, n int, cfg SessionConfig, ckptEverySteps int) {
 	b.ReportMetric(perWindow/float64(n), "samples/session")
 }
 
+// BenchmarkRuntimeSaturated measures the throughput CEILING: N
+// sessions driven flat-out with no pacer — every worker calls StepN in
+// a tight loop against an endlessly looping GPS source. Where the
+// paced benchmarks above prove per-feature overhead budgets at the
+// fixed 46.67 samples/s/session live rate, this one answers "how fast
+// does the middleware run when the hardware is the only limit", and
+// its allocs/op is the per-source-step allocation bill of the whole
+// hot path (emission, span bookkeeping, channel history, data-tree
+// build, provider delivery).
+func BenchmarkRuntimeSaturated(b *testing.B) {
+	for _, n := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("sessions_%d", n), func(b *testing.B) {
+			benchSaturated(b, n)
+		})
+	}
+}
+
+// saturatedSessionConfig is gpsSessionConfig with an endless (looping)
+// receiver and no acquisition delay, so flat-out drivers never run the
+// source dry and every epoch emits a full sentence group.
+func saturatedSessionConfig(b *testing.B) SessionConfig {
+	b.Helper()
+	bp, err := catalog.GPSBlueprint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return SessionConfig{
+		Blueprint: bp,
+		Overrides: func(sessionID string) []core.InstantiateOption {
+			seed := seedFrom(sessionID)
+			tr := trace.OutdoorTrack(testOrigin, seed, 4, 200, 1.4, time.Second)
+			return []core.InstantiateOption{
+				core.WithComponentOverride("gps", func(cid string) core.Component {
+					return gps.NewReceiver(cid, tr, gps.Config{
+						Seed:      seed,
+						ColdStart: time.Nanosecond,
+						Loop:      true,
+					})
+				}),
+			}
+		},
+		Provider: positioning.ProviderInfo{Technology: "gps", TypicalAccuracy: 5},
+		History:  64,
+	}
+}
+
+// benchSaturated splits b.N source steps across one goroutine per
+// session, each driving its session in StepN batches. The op of
+// allocs/op and ns/op is one source step (≈1 delivered position).
+func benchSaturated(b *testing.B, n int) {
+	const batch = 64
+	m, err := NewManager(saturatedSessionConfig(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+
+	var delivered atomic.Int64
+	sessions := make([]*Session, n)
+	for i := range sessions {
+		s, err := m.GetOrCreate(fmt.Sprintf("target-%04d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Provider().Subscribe(func(positioning.Position) { delivered.Add(1) })
+		sessions[i] = s
+	}
+
+	per, extra := b.N/n, b.N%n
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, s := range sessions {
+		steps := per
+		if i < extra {
+			steps++
+		}
+		if steps == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s *Session, steps int) {
+			defer wg.Done()
+			for steps > 0 {
+				k := batch
+				if steps < k {
+					k = steps
+				}
+				if _, err := s.StepN(k); err != nil {
+					b.Error(err)
+					return
+				}
+				steps -= k
+			}
+		}(s, steps)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if sec := elapsed.Seconds(); sec > 0 {
+		b.ReportMetric(float64(delivered.Load())/sec, "samples/s")
+	}
+}
+
 // BenchmarkDegradedFusionSession measures steady-state degraded-mode
 // throughput: a supervised fusion session whose WiFi branch is down
 // (breaker open, app rerouted to the GPS branch, runner retrying the

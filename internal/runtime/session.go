@@ -322,6 +322,15 @@ func (s *Session) Run(maxTicks int) (int, error) {
 
 // Step advances every source in the session by one sample.
 func (s *Session) Step() (bool, error) {
+	return s.StepN(1)
+}
+
+// StepN advances every source in the session n times under a single
+// lock acquisition, amortizing the per-step run-lock and idle-clock
+// cost — the batched drive loop for saturated (unpaced) workloads. It
+// stops early once the sources are exhausted. Supervisor edits never
+// interleave a batch: like Run, propagation holds the run lock.
+func (s *Session) StepN(n int) (bool, error) {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
 	s.mu.Lock()
@@ -331,7 +340,15 @@ func (s *Session) Step() (bool, error) {
 	}
 	s.lastUsed = s.clock()
 	s.mu.Unlock()
-	return s.graph.StepAll()
+	more := true
+	for i := 0; i < n && more; i++ {
+		var err error
+		more, err = s.graph.StepAll()
+		if err != nil {
+			return more, err
+		}
+	}
+	return more, nil
 }
 
 // Start launches the session's async runner (one goroutine per
