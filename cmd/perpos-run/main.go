@@ -23,6 +23,12 @@
 //	                                # serve /metrics (JSON) + /debug/pprof
 //	                                # while the workload runs; the final
 //	                                # snapshot is echoed on exit
+//	perpos-run -rollout             # roll a live fleet from the GPS-only
+//	                                # revision to the fusion revision
+//	                                # (canary → gate → ramp, zero downtime)
+//	perpos-run -rollout-fail        # same roll with a broken WiFi branch:
+//	                                # the canary gate trips and the fleet
+//	                                # is rolled back to the old revision
 //
 // Configurations (see internal/config) may reference two pre-built
 // instances: "gps" (a receiver on a commute trace) and "app" (a
@@ -74,6 +80,8 @@ func run(args []string) error {
 	maxLines := fs.Int("max", 50, "maximum positions to print (0 = all)")
 	targets := fs.Int("targets", 0, "track N concurrent targets through per-target sessions (multi-tenant mode)")
 	chaosDemo := fs.Bool("chaos", false, "run a supervised fusion session through an injected WiFi outage")
+	rolloutDemo := fs.Bool("rollout", false, "roll a live session fleet from the GPS-only revision to the fusion revision (canary → gate → ramp)")
+	rolloutFail := fs.Bool("rollout-fail", false, "rollout demo with a broken WiFi branch: the canary gate trips and the fleet rolls back")
 	chaosScript := fs.String("chaos-script", "", "pipeline JSON whose chaos block drives the -chaos fault script (default: built-in kill/heal)")
 	checkpointDir := fs.String("checkpoint-dir", "", "directory for durable session checkpoints; with -chaos the session is evicted and resumed from it")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (JSON) and /debug/pprof on this address while running (\":0\" picks a free port); with -targets or -chaos the session runtime reports into it")
@@ -105,6 +113,9 @@ func run(args []string) error {
 	}
 	if *chaosDemo {
 		return runChaos(*seed, *checkpointDir, *chaosScript, hub)
+	}
+	if *rolloutDemo || *rolloutFail {
+		return runRollout(*seed, *rolloutFail, hub)
 	}
 
 	switch *pipeline {
@@ -476,6 +487,144 @@ func runChaos(seed int64, ckptDir, scriptPath string, hub *obs.Metrics) error {
 		_ = s2.Stop()
 		fmt.Printf("resumed session delivered %d positions from checkpointed state\n", resumed.Load())
 	}
+	return nil
+}
+
+// runRollout is the fleet-adaptation demo: a fleet of live sessions on
+// the GPS-only revision of the catalog's upgrade set rolls to the
+// fusion revision through the manager's canary → gate → ramp driver,
+// while every session keeps delivering positions. With fail=true the
+// WiFi branch the upgrade introduces is chaos-killed on arrival: the
+// canary cohort's error delta trips the gate, the canaries are migrated
+// back, and the fleet ends where it started — the paper's adaptation
+// seam driven by observed behavior instead of an operator.
+func runRollout(seed int64, fail bool, hub *obs.Metrics) error {
+	const fleet = 24
+	if hub == nil {
+		hub = obs.New() // the gate needs metrics even without -metrics-addr
+	}
+	b := building.Evaluation()
+	network := wifi.DefaultDeployment(b)
+	db := wifi.Survey(network, 0, wifi.SurveyConfig{Seed: seed + 1, GridStep: 4})
+	set, err := catalog.FusionUpgradeSet(
+		catalog.Deps{Building: b, Database: db},
+		filter.Config{Particles: 100, Seed: seed + 2})
+	if err != nil {
+		return err
+	}
+	tr := trace.CorridorWalk(b, seed, 600, time.Second)
+
+	m, err := runtime.NewManager(runtime.SessionConfig{
+		Blueprints:      set,
+		InitialRevision: 1,
+		Provider:        positioning.ProviderInfo{Technology: "fused", TypicalAccuracy: 4},
+		History:         16,
+		Observability:   hub,
+		Overrides: func(sessionID string) []core.InstantiateOption {
+			var i int64
+			fmt.Sscanf(sessionID, "target-%d", &i)
+			return []core.InstantiateOption{
+				core.WithComponentOverride("gps", func(cid string) core.Component {
+					return gps.NewReceiver(cid, tr, gps.Config{Seed: seed + i + 100, ColdStart: time.Second})
+				}),
+				// Optional: revision 1 has no wifi slot; the override only
+				// binds once a migration instantiates the fusion branch.
+				core.WithOptionalOverride("wifi", func(cid string) core.Component {
+					sensor := wifi.NewSensor(cid, network, tr, time.Second, seed+i+200)
+					if !fail {
+						return sensor
+					}
+					broken := chaos.WrapSource(sensor)
+					broken.Kill(nil) // the regression ships with revision 2
+					return broken
+				}),
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var delivered atomic.Int64
+	for i := 0; i < fleet; i++ {
+		s, err := m.GetOrCreate(fmt.Sprintf("target-%03d", i))
+		if err != nil {
+			return err
+		}
+		s.Provider().Subscribe(func(positioning.Position) { delivered.Add(1) })
+		if err := s.Start(ctx, core.WithSourceInterval(5*time.Millisecond)); err != nil {
+			return err
+		}
+	}
+	wait := func(what string, cond func() bool) error {
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return nil
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return errors.New("timed out waiting for " + what)
+	}
+	if err := wait("first positions", func() bool { return delivered.Load() >= fleet }); err != nil {
+		return err
+	}
+	fmt.Printf("fleet live: %d sessions on revision %d (%s)\n", m.Len(), m.ActiveRevision(), set.Name())
+
+	gate := runtime.GateConfig{MaxErrors: 1 << 20}
+	if fail {
+		gate.MaxErrors = 0 // any canary error on the new branch trips
+	}
+	rep, err := m.Rollout(ctx, runtime.RolloutConfig{
+		To:             2,
+		CanaryFraction: 0.25,
+		CanaryWindow:   400 * time.Millisecond,
+		Gate:           gate,
+		Log: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	})
+	rolledBack := errors.Is(err, runtime.ErrRolloutRolledBack)
+	if err != nil && !rolledBack {
+		return err
+	}
+
+	onRev := func(rev int) int {
+		n := 0
+		for _, id := range m.IDs() {
+			if s, ok := m.Get(id); ok && s.Revision() == rev {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Printf("rollout counters: started=%d completed=%d rolled_back=%d upgraded=%d reverted=%d failed=%d\n",
+		hub.RolloutsStarted.Value(), hub.RolloutsCompleted.Value(), hub.RolloutsRolledBack.Value(),
+		hub.RolloutUpgraded.Value(), hub.RolloutReverted.Value(), hub.RolloutFailed.Value())
+
+	switch {
+	case rolledBack && !fail:
+		return fmt.Errorf("unexpected rollback: %s", rep.Reason)
+	case !rolledBack && fail:
+		return errors.New("broken-branch rollout was not rolled back")
+	case rolledBack:
+		fmt.Printf("rollout rolled back: %s\n", rep.Reason)
+		fmt.Printf("fleet back on revision 1: %d/%d sessions, %d canaries reverted, active revision %d\n",
+			onRev(1), m.Len(), rep.Reverted, m.ActiveRevision())
+	default:
+		fmt.Printf("rollout complete: fleet on revision 2 (%d/%d sessions, %d canaries, 0 dropped)\n",
+			onRev(2), m.Len(), rep.Canaries)
+	}
+
+	// Either way the fleet must still be serving.
+	before := delivered.Load()
+	if err := wait("positions after the roll", func() bool { return delivered.Load() >= before+fleet }); err != nil {
+		return err
+	}
+	fmt.Printf("fleet still delivering: %d positions total, %d sessions live\n", delivered.Load(), m.Len())
 	return nil
 }
 

@@ -153,6 +153,38 @@ func TestBinariesSmoke(t *testing.T) {
 		}
 	})
 
+	t.Run("perpos-run-rollout", func(t *testing.T) {
+		out := runBin(t, bins["perpos-run"], "-rollout", "-seed", "11")
+		for _, want := range []string{
+			"fleet live: 24 sessions on revision 1 (fusion-upgrade)",
+			"rollout fusion-upgrade 1->2: 24 sessions, 6 canaries",
+			"rollout ramping: active revision now 2",
+			"rollout counters: started=1 completed=1 rolled_back=0 upgraded=24 reverted=0 failed=0",
+			"rollout complete: fleet on revision 2 (24/24 sessions, 6 canaries, 0 dropped)",
+			"fleet still delivering",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("rollout demo output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("perpos-run-rollout-fail", func(t *testing.T) {
+		out := runBin(t, bins["perpos-run"], "-rollout-fail", "-seed", "11")
+		for _, want := range []string{
+			"fleet live: 24 sessions on revision 1 (fusion-upgrade)",
+			"rollout gate tripped",
+			"rollout counters: started=1 completed=0 rolled_back=1 upgraded=6 reverted=6 failed=0",
+			"rollout rolled back",
+			"fleet back on revision 1: 24/24 sessions, 6 canaries reverted, active revision 1",
+			"fleet still delivering",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("rollout rollback demo output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
 	t.Run("perpos-run-checkpoint-resume", func(t *testing.T) {
 		dir := filepath.Join(t.TempDir(), "ckpt")
 		out := runBin(t, bins["perpos-run"], "-chaos", "-seed", "7", "-checkpoint-dir", dir)

@@ -188,6 +188,98 @@ func FusionBlueprint(deps Deps, fcfg filter.Config) (*core.Blueprint, error) {
 	return bp, nil
 }
 
+// FusionUpgradeSet returns the two-revision blueprint set behind the
+// repository's rolling-upgrade demo: revision 1 is the plain GPS chain
+// (gps -> parser -> interpreter -> app), revision 2 the Fig. 2 fusion
+// pipeline that splices the WiFi branch and the particle filter between
+// the interpreter and the app. The GPS chain slots share one factory
+// per slot AND carry identity tags across both revisions, so a
+// migration sees gps/parser/interpreter/app as Unchanged — their live
+// instances (and component state) survive the upgrade; only the wifi
+// branch and the filter are instantiated, and the reverse migration
+// tears exactly those down again.
+func FusionUpgradeSet(deps Deps, fcfg filter.Config) (*core.BlueprintSet, error) {
+	if deps.Building == nil || deps.Database == nil {
+		return nil, fmt.Errorf("catalog: fusion upgrade set needs a building model and a WiFi database")
+	}
+	b, db := deps.Building, deps.Database
+
+	// One factory value per shared slot: identity-tagged anyway, but
+	// sharing keeps the pointer-compare fallback equivalent.
+	parserF := func(id string) core.Component { return gps.NewParser(id) }
+	interpF := func(id string) core.Component { return gps.NewInterpreter(id, 0) }
+	hdopF := func() core.Feature { return gps.NewHDOPFeature() }
+
+	type slot struct {
+		id      string
+		tag     string
+		factory core.ComponentFactory
+	}
+	build := func(fusion bool) (*core.Blueprint, error) {
+		bp := core.NewBlueprint()
+		comps := []slot{
+			{"gps", "sensor.gps", nil},
+			{"parser", "gps.Parser", parserF},
+			{"interpreter", "gps.Interpreter", interpF},
+			{"app", "sink.app", nil},
+		}
+		edges := []core.Edge{
+			{From: "gps", To: "parser", Port: 0},
+			{From: "parser", To: "interpreter", Port: 0},
+		}
+		if fusion {
+			comps = append(comps,
+				slot{"wifi", "sensor.wifi", nil},
+				slot{"wifi-positioning", "wifi.Engine", func(id string) core.Component {
+					return wifi.NewEngine(id, db, b, 3)
+				}},
+				slot{"particle-filter", "filter.Particle", func(id string) core.Component {
+					return filter.NewParticleFilter(id, b, fcfg)
+				}},
+			)
+			edges = append(edges,
+				core.Edge{From: "interpreter", To: "particle-filter", Port: 0},
+				core.Edge{From: "wifi", To: "wifi-positioning", Port: 0},
+				core.Edge{From: "wifi-positioning", To: "particle-filter", Port: 1},
+				core.Edge{From: "particle-filter", To: "app", Port: 0},
+			)
+		} else {
+			edges = append(edges, core.Edge{From: "interpreter", To: "app", Port: 0})
+		}
+		for _, c := range comps {
+			if err := bp.AddComponent(c.id, c.factory); err != nil {
+				return nil, err
+			}
+			if err := bp.TagComponent(c.id, c.tag); err != nil {
+				return nil, err
+			}
+		}
+		// Same tagged HDOP feature in both revisions: the parser's
+		// Component Feature is part of the chain, not of the upgrade.
+		if err := bp.AttachTaggedFeature("parser", "gps.HDOP", hdopF); err != nil {
+			return nil, err
+		}
+		for _, e := range edges {
+			if err := bp.Connect(e.From, e.To, e.Port); err != nil {
+				return nil, err
+			}
+		}
+		return bp, nil
+	}
+
+	set := core.NewBlueprintSet("fusion-upgrade")
+	for _, fusion := range []bool{false, true} {
+		bp, err := build(fusion)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+		if _, err := set.Add(bp); err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+	}
+	return set, nil
+}
+
 // FusionDegradation returns the graceful-degradation rules matching
 // FusionBlueprint: when either sensor branch trips its breaker, the
 // fused output edge is cut and the surviving branch's position stream

@@ -45,6 +45,11 @@ var (
 	// the snapshot file failed. Callers that only care about durability
 	// may treat it as a warning; it previously went unreported entirely.
 	ErrCompaction = errors.New("checkpoint: snapshot compaction failed")
+	// ErrLocked indicates another store (in this or another process)
+	// holds the directory's exclusive lock. Two writers appending to the
+	// same journals would interleave frames and corrupt each other's
+	// recovery, so Open fails fast instead.
+	ErrLocked = errors.New("checkpoint: store directory locked by another store")
 )
 
 // SessionState is one durable checkpoint of a session: everything
@@ -65,6 +70,12 @@ type SessionState struct {
 	// Availability is the provider's JSR-179 state at capture time
 	// (positioning.Availability's integer value).
 	Availability int `json:"availability"`
+	// Revision is the blueprint revision the session was running when
+	// captured (0 for sessions of an unversioned blueprint). Resume
+	// rehydrates onto the manager's active revision regardless — state
+	// for nodes absent there is skipped — but the recorded revision
+	// tells an operator what the checkpoint's layout was.
+	Revision int `json:"revision,omitempty"`
 }
 
 // Options configure a Store.
@@ -99,20 +110,32 @@ func (o Options) withDefaults() Options {
 type Store struct {
 	dir  string
 	opts Options
+	lock *dirLock
 
 	mu       sync.Mutex
 	closed   bool
 	sessions map[string]*journal
 }
 
-// Open returns a store rooted at dir, creating the directory if needed.
+// Open returns a store rooted at dir, creating the directory if needed
+// and taking its exclusive lock: a LOCK file under dir is flock'd so a
+// second store on the same directory — in this process or another —
+// fails fast with ErrLocked instead of corrupting the journals. The
+// lock is advisory, held for the store's lifetime and released by Close
+// (or by the OS when the process dies, so a crashed writer never wedges
+// the directory).
 func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: open %s: %w", dir, err)
 	}
+	lock, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, err
+	}
 	return &Store{
 		dir:      dir,
 		opts:     opts.withDefaults(),
+		lock:     lock,
 		sessions: make(map[string]*journal),
 	}, nil
 }
@@ -241,6 +264,12 @@ func (s *Store) Close() error {
 		}
 	}
 	s.sessions = nil
+	if s.lock != nil {
+		if err := s.lock.release(); err != nil {
+			errs = append(errs, err)
+		}
+		s.lock = nil
+	}
 	return errors.Join(errs...)
 }
 

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package checkpoint
+
+// Non-unix platforms have no flock; the store runs unlocked there, as
+// it did before cross-process locking existed. CI and deployment
+// targets are linux, where lock_unix.go applies.
+
+type dirLock struct{}
+
+func acquireDirLock(string) (*dirLock, error) { return nil, nil }
+
+func (l *dirLock) release() error { return nil }

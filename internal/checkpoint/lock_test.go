@@ -1,0 +1,47 @@
+//go:build unix
+
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestOpenLocksStoreDirectory: the second Open on a directory fails
+// fast with ErrLocked while the first store lives, and succeeds again
+// once it is closed.
+func TestOpenLocksStoreDirectory(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open = %v, want ErrLocked", err)
+	}
+
+	// A different directory is independent.
+	other, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("Open on distinct dir: %v", err)
+	}
+	if err := other.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("re-Open after Close = %v, want nil", err)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent and does not double-release the lock.
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

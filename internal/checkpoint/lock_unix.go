@@ -1,0 +1,52 @@
+//go:build unix
+
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockFileName is the advisory lock file kept at the store root. It
+// carries no data — only the flock matters — and is deliberately left
+// behind on Close so concurrent openers race on one stable inode.
+const lockFileName = "LOCK"
+
+// dirLock holds the flock'd LOCK file of one store directory.
+type dirLock struct {
+	f *os.File
+}
+
+// acquireDirLock takes the exclusive, non-blocking flock on dir/LOCK.
+// flock locks are per file description, so a second Open in the same
+// process conflicts exactly like one from another process; they die
+// with the owning process, so a crashed writer never wedges the store.
+func acquireDirLock(dir string) (*dirLock, error) {
+	path := filepath.Join(dir, lockFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open lock %s: %w", path, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		_ = f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+		}
+		return nil, fmt.Errorf("checkpoint: lock %s: %w", path, err)
+	}
+	return &dirLock{f: f}, nil
+}
+
+// release drops the flock and closes the file.
+func (l *dirLock) release() error {
+	if l.f == nil {
+		return nil
+	}
+	err := syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	cerr := l.f.Close()
+	l.f = nil
+	return errors.Join(err, cerr)
+}

@@ -59,6 +59,32 @@ type Pipeline struct {
 	// against chaos-wrapped components. Consumed by soak tests and
 	// perpos-run's chaos mode; nil means no injected faults.
 	Chaos *ChaosDef `json:"chaos,omitempty"`
+	// Revisions declares versioned variants of the pipeline: each entry
+	// is a complete layout (components, connections, features) that
+	// becomes one revision of a core.BlueprintSet, in order — revision 1
+	// first. When set, the top-level Components/Connections/Features are
+	// ignored by BlueprintSet and Manager; same-ID slots with the same
+	// type (or the same instance binding) are identity-tagged, so
+	// migrations between revisions keep their live instances and state.
+	Revisions []RevisionDef `json:"revisions,omitempty"`
+	// InitialRevision selects the revision new sessions start on
+	// (0 = latest). Only meaningful with Revisions.
+	InitialRevision int `json:"initial_revision,omitempty"`
+	// Rollout declares default rolling-upgrade parameters for the
+	// pipeline's fleet: canary sizing, soak window, and the metric gate
+	// that decides ramp versus rollback. Consumed by the session
+	// runtime's Rollout driver; nil means drivers use their defaults.
+	Rollout *RolloutDef `json:"rollout,omitempty"`
+}
+
+// RevisionDef is one complete pipeline layout inside a versioned
+// definition — the same shape as the top-level pipeline's structural
+// fields.
+type RevisionDef struct {
+	Components  []ComponentDef  `json:"components"`
+	Connections []ConnectionDef `json:"connections"`
+	Features    []FeatureDef    `json:"features,omitempty"`
+	Resolve     bool            `json:"resolve,omitempty"`
 }
 
 // ComponentDef places one component.
@@ -163,12 +189,61 @@ func (l *Loader) Build(g *core.Graph, p Pipeline) error {
 // instantiation with core.WithComponentOverride; when the pipeline
 // needs resolution, a probe stand-in is taken from Instances.
 func (l *Loader) Blueprint(p Pipeline) (*core.Blueprint, error) {
+	return l.buildBlueprint(layout{p.Components, p.Connections, p.Features, p.Resolve})
+}
+
+// BlueprintSet reifies a versioned pipeline definition into a named
+// core.BlueprintSet: each RevisionDef becomes one frozen revision, in
+// declared order. A definition without Revisions yields a
+// single-revision set wrapping Blueprint(p). Slots are identity-tagged
+// by their registry type (or instance binding) and features by their
+// factory name, so a revision diff sees structurally identical slots as
+// Unchanged — the property migrations rely on to carry live state.
+func (l *Loader) BlueprintSet(p Pipeline) (*core.BlueprintSet, error) {
+	name := p.Name
+	if name == "" {
+		name = "pipeline"
+	}
+	set := core.NewBlueprintSet(name)
+	if len(p.Revisions) == 0 {
+		bp, err := l.Blueprint(p)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := set.Add(bp); err != nil {
+			return nil, fmt.Errorf("config: blueprint set: %w", err)
+		}
+		return set, nil
+	}
+	for i, rev := range p.Revisions {
+		bp, err := l.buildBlueprint(layout{rev.Components, rev.Connections, rev.Features, rev.Resolve})
+		if err != nil {
+			return nil, fmt.Errorf("config: revision %d: %w", i+1, err)
+		}
+		if _, err := set.Add(bp); err != nil {
+			return nil, fmt.Errorf("config: revision %d: %w", i+1, err)
+		}
+	}
+	return set, nil
+}
+
+// layout is the structural subset a blueprint is built from — the
+// top-level pipeline's fields or one RevisionDef's.
+type layout struct {
+	components  []ComponentDef
+	connections []ConnectionDef
+	features    []FeatureDef
+	resolve     bool
+}
+
+func (l *Loader) buildBlueprint(p layout) (*core.Blueprint, error) {
 	type slot struct {
 		id      string
-		factory core.ComponentFactory // nil = placeholder
+		tag     string // identity tag for revision diffing ("" = placeholder)
+		factory core.ComponentFactory
 	}
-	slots := make([]slot, 0, len(p.Components))
-	for _, def := range p.Components {
+	slots := make([]slot, 0, len(p.components))
+	for _, def := range p.components {
 		switch {
 		case def.Type != "":
 			if l.Registry == nil {
@@ -178,9 +253,11 @@ func (l *Loader) Blueprint(p Pipeline) (*core.Blueprint, error) {
 			if !ok {
 				return nil, fmt.Errorf("%w: %q", ErrUnknownType, def.Type)
 			}
-			slots = append(slots, slot{id: def.ID, factory: func(id string) core.Component { return reg.New(id) }})
+			// Every typed slot shares this one closure literal, so factory
+			// pointer identity cannot distinguish types — the tag does.
+			slots = append(slots, slot{id: def.ID, tag: "type:" + def.Type, factory: func(id string) core.Component { return reg.New(id) }})
 		case l.InstanceFactories[def.ID] != nil:
-			slots = append(slots, slot{id: def.ID, factory: l.InstanceFactories[def.ID]})
+			slots = append(slots, slot{id: def.ID, tag: "instance:" + def.ID, factory: l.InstanceFactories[def.ID]})
 		default:
 			slots = append(slots, slot{id: def.ID, factory: nil})
 		}
@@ -188,23 +265,24 @@ func (l *Loader) Blueprint(p Pipeline) (*core.Blueprint, error) {
 
 	type featureSlot struct {
 		component string
+		tag       string
 		factory   core.FeatureFactory
 	}
-	features := make([]featureSlot, 0, len(p.Features))
-	for _, def := range p.Features {
+	features := make([]featureSlot, 0, len(p.features))
+	for _, def := range p.features {
 		factory, ok := l.Features[def.Feature]
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownFeature, def.Feature)
 		}
-		features = append(features, featureSlot{def.Component, core.FeatureFactory(factory)})
+		features = append(features, featureSlot{def.Component, "feature:" + def.Feature, core.FeatureFactory(factory)})
 	}
 
-	connections := make([]core.Edge, 0, len(p.Connections))
-	for _, c := range p.Connections {
+	connections := make([]core.Edge, 0, len(p.connections))
+	for _, c := range p.connections {
 		connections = append(connections, core.Edge{From: c.From, To: c.To, Port: c.Port})
 	}
 
-	if p.Resolve {
+	if p.resolve {
 		if l.Registry == nil {
 			return nil, fmt.Errorf("config: pipeline requests resolution but loader has no registry")
 		}
@@ -243,7 +321,7 @@ func (l *Loader) Blueprint(p Pipeline) (*core.Blueprint, error) {
 			if !ok {
 				return nil, fmt.Errorf("%w: %q", ErrUnknownType, inst.Type)
 			}
-			slots = append(slots, slot{id: inst.ID, factory: func(id string) core.Component { return reg.New(id) }})
+			slots = append(slots, slot{id: inst.ID, tag: "type:" + inst.Type, factory: func(id string) core.Component { return reg.New(id) }})
 		}
 		// The probe's edge set is the resolved wiring (explicit
 		// connections plus everything the resolver added).
@@ -255,9 +333,14 @@ func (l *Loader) Blueprint(p Pipeline) (*core.Blueprint, error) {
 		if err := bp.AddComponent(s.id, s.factory); err != nil {
 			return nil, fmt.Errorf("config: blueprint: %w", err)
 		}
+		if s.tag != "" {
+			if err := bp.TagComponent(s.id, s.tag); err != nil {
+				return nil, fmt.Errorf("config: blueprint: %w", err)
+			}
+		}
 	}
 	for _, f := range features {
-		if err := bp.AttachFeature(f.component, f.factory); err != nil {
+		if err := bp.AttachTaggedFeature(f.component, f.tag, f.factory); err != nil {
 			return nil, fmt.Errorf("config: blueprint: %w", err)
 		}
 	}

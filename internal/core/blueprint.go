@@ -36,11 +36,13 @@ type FeatureFactory func() Feature
 type blueprintComponent struct {
 	id      string
 	factory ComponentFactory // nil marks a placeholder requiring an override
+	tag     string           // identity tag for revision diffing ("" = factory identity)
 }
 
 type blueprintFeature struct {
 	component string
 	factory   FeatureFactory
+	tag       string // identity tag for revision diffing ("" = factory identity)
 }
 
 // Blueprint is the immutable structure of a positioning pipeline:
@@ -88,6 +90,29 @@ func (b *Blueprint) AddComponent(id string, factory ComponentFactory) error {
 	return nil
 }
 
+// TagComponent sets the identity tag DiffBlueprints uses to decide
+// whether two revisions' slots hold "the same" component. Untagged
+// slots compare by factory code identity, which distinguishes any two
+// distinct function literals; tags let blueprints built through a
+// registry (where every slot shares one generic closure) or across
+// separately constructed revisions declare identity explicitly. Two
+// slots with the same non-empty tag are considered unchanged even when
+// their factories differ — the operator's contract that their state is
+// compatible.
+func (b *Blueprint) TagComponent(id, tag string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.frozen {
+		return ErrBlueprintFrozen
+	}
+	i, ok := b.index[id]
+	if !ok {
+		return fmt.Errorf("%w: component %q", ErrNotFound, id)
+	}
+	b.comps[i].tag = tag
+	return nil
+}
+
 // Connect declares an edge from from's output to input port port of to.
 // Kind and feature compatibility are validated at instantiation time,
 // when component specs exist; here only the referenced slots and basic
@@ -119,6 +144,12 @@ func (b *Blueprint) Connect(from, to string, port int) error {
 // AttachFeature declares a Component Feature on a component slot. A
 // fresh feature instance is created for every pipeline instance.
 func (b *Blueprint) AttachFeature(componentID string, factory FeatureFactory) error {
+	return b.AttachTaggedFeature(componentID, "", factory)
+}
+
+// AttachTaggedFeature is AttachFeature with an explicit identity tag
+// for revision diffing (see TagComponent for the tag semantics).
+func (b *Blueprint) AttachTaggedFeature(componentID, tag string, factory FeatureFactory) error {
 	if factory == nil {
 		return fmt.Errorf("%w: nil feature factory for %q", ErrInvalidSpec, componentID)
 	}
@@ -130,7 +161,7 @@ func (b *Blueprint) AttachFeature(componentID string, factory FeatureFactory) er
 	if _, ok := b.index[componentID]; !ok {
 		return fmt.Errorf("%w: component %q", ErrNotFound, componentID)
 	}
-	b.feats = append(b.feats, blueprintFeature{component: componentID, factory: factory})
+	b.feats = append(b.feats, blueprintFeature{component: componentID, factory: factory, tag: tag})
 	return nil
 }
 
@@ -173,6 +204,7 @@ type InstantiateOption func(*instantiateConfig)
 
 type instantiateConfig struct {
 	overrides map[string]ComponentFactory
+	optional  map[string]ComponentFactory
 }
 
 // WithComponentOverride substitutes the factory for one component slot
@@ -185,6 +217,35 @@ func WithComponentOverride(id string, factory ComponentFactory) InstantiateOptio
 		}
 		c.overrides[id] = factory
 	}
+}
+
+// WithOptionalOverride is WithComponentOverride for a slot the
+// blueprint may not declare: unknown IDs are silently ignored instead
+// of failing with ErrUnknownOverride. This is how one per-session
+// override set serves every revision in a BlueprintSet — a "wifi"
+// sensor binding is supplied unconditionally but only takes effect on
+// revisions that declare the slot. WithComponentOverride wins when both
+// name the same slot.
+func WithOptionalOverride(id string, factory ComponentFactory) InstantiateOption {
+	return func(c *instantiateConfig) {
+		if c.optional == nil {
+			c.optional = make(map[string]ComponentFactory)
+		}
+		c.optional[id] = factory
+	}
+}
+
+// factoryFor resolves the effective factory for a slot: a required
+// override wins, then an optional override, then the declared factory
+// (nil for an unbound placeholder).
+func (c *instantiateConfig) factoryFor(bc blueprintComponent) ComponentFactory {
+	if f, ok := c.overrides[bc.id]; ok {
+		return f
+	}
+	if f, ok := c.optional[bc.id]; ok {
+		return f
+	}
+	return bc.factory
 }
 
 // freeze marks the blueprint immutable and returns stable references to
@@ -213,24 +274,31 @@ func (b *Blueprint) Instantiate(opts ...InstantiateOption) (*Graph, error) {
 	}
 
 	g := New()
+	if err := buildInto(g, comps, conns, feats, &cfg); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// buildInto materializes a frozen blueprint definition into g — the
+// shared body of Instantiate and the migration rollback path, which
+// rebuilds a prior revision into a live (quiescent) graph.
+func buildInto(g *Graph, comps []blueprintComponent, conns []Edge, feats []blueprintFeature, cfg *instantiateConfig) error {
 	for _, c := range comps {
-		factory := c.factory
-		if f, ok := cfg.overrides[c.id]; ok {
-			factory = f
-		}
+		factory := cfg.factoryFor(c)
 		if factory == nil {
-			return nil, fmt.Errorf("%w: %q", ErrOverrideRequired, c.id)
+			return fmt.Errorf("%w: %q", ErrOverrideRequired, c.id)
 		}
 		comp := factory(c.id)
 		if comp == nil {
-			return nil, fmt.Errorf("%w: factory for %q returned nil", ErrInvalidSpec, c.id)
+			return fmt.Errorf("%w: factory for %q returned nil", ErrInvalidSpec, c.id)
 		}
 		if comp.ID() != c.id {
-			return nil, fmt.Errorf("%w: factory for %q returned component %q",
+			return fmt.Errorf("%w: factory for %q returned component %q",
 				ErrInvalidSpec, c.id, comp.ID())
 		}
 		if _, err := g.Add(comp); err != nil {
-			return nil, fmt.Errorf("blueprint: add %q: %w", c.id, err)
+			return fmt.Errorf("blueprint: add %q: %w", c.id, err)
 		}
 	}
 	// Features before connections: connection validation may require
@@ -238,15 +306,15 @@ func (b *Blueprint) Instantiate(opts ...InstantiateOption) (*Graph, error) {
 	for _, f := range feats {
 		node, _ := g.Node(f.component)
 		if err := node.AttachFeature(f.factory()); err != nil {
-			return nil, fmt.Errorf("blueprint: attach feature to %q: %w", f.component, err)
+			return fmt.Errorf("blueprint: attach feature to %q: %w", f.component, err)
 		}
 	}
 	for _, e := range conns {
 		if err := g.Connect(e.From, e.To, e.Port); err != nil {
-			return nil, fmt.Errorf("blueprint: connect %s -> %s:%d: %w", e.From, e.To, e.Port, err)
+			return fmt.Errorf("blueprint: connect %s -> %s:%d: %w", e.From, e.To, e.Port, err)
 		}
 	}
-	return g, nil
+	return nil
 }
 
 // Validate instantiates a probe instance (with the given overrides for

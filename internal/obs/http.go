@@ -8,17 +8,29 @@ import (
 )
 
 // Handler serves the hub: GET /metrics returns the Snapshot as
-// indented JSON (expvar-style pull model), and the standard
-// net/http/pprof endpoints hang under /debug/pprof/ so an operator can
-// profile a live perpos-run next to its metrics. An explicit mux is
-// used — nothing is registered on http.DefaultServeMux.
+// indented JSON (expvar-style pull model), GET /metrics?format=prom or
+// /metrics/prom returns the Prometheus text exposition (WritePrometheus),
+// and the standard net/http/pprof endpoints hang under /debug/pprof/ so
+// an operator can profile a live perpos-run next to its metrics. An
+// explicit mux is used — nothing is registered on http.DefaultServeMux.
 func Handler(m *Metrics) http.Handler {
+	prom := func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, m)
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			prom(w)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(m.Snapshot())
+	})
+	mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, _ *http.Request) {
+		prom(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -19,6 +19,7 @@ package obs
 
 import (
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -81,6 +82,18 @@ type Metrics struct {
 	CheckpointBytes  Counter
 	CheckpointNs     Histogram
 
+	// Rolling-upgrade progress (runtime.Manager.Rollout): rollout
+	// lifecycle counts plus per-session migration outcomes. Reverted
+	// counts canary sessions migrated back after a gate failure; Failed
+	// counts sessions whose migration errored (they remain on their old
+	// revision — a failed migration rolls the graph back in place).
+	RolloutsStarted    Counter
+	RolloutsCompleted  Counter
+	RolloutsRolledBack Counter
+	RolloutUpgraded    Counter
+	RolloutReverted    Counter
+	RolloutFailed      Counter
+
 	// TreeDepth is the distribution of channel data-tree depths (PCL).
 	TreeDepth Histogram
 
@@ -95,6 +108,11 @@ type Metrics struct {
 	// providerTransitions maps availability-state name -> *Counter of
 	// transitions INTO that state.
 	providerTransitions sync.Map
+
+	// revisionLive maps blueprint revision number -> *Gauge of sessions
+	// currently running that revision — the fleet's upgrade progress at
+	// a glance.
+	revisionLive sync.Map
 }
 
 // New returns an empty hub.
@@ -157,6 +175,17 @@ func (m *Metrics) ProviderTransition(state string) {
 	v.(*Counter).Inc()
 }
 
+// RevisionLive returns (creating on first use) the live-session gauge
+// for one blueprint revision. The manager moves sessions between
+// revision gauges as they are created, migrated, resumed and retired.
+func (m *Metrics) RevisionLive(rev int) *Gauge {
+	if v, ok := m.revisionLive.Load(rev); ok {
+		return v.(*Gauge)
+	}
+	v, _ := m.revisionLive.LoadOrStore(rev, &Gauge{})
+	return v.(*Gauge)
+}
+
 // ObserveTreeDepth records one channel data-tree depth.
 func (m *Metrics) ObserveTreeDepth(depth int) {
 	m.TreeDepth.Observe(int64(depth))
@@ -201,6 +230,12 @@ func (m *Metrics) Snapshot() map[string]any {
 		return true
 	})
 
+	revisions := make(map[string]int64)
+	m.revisionLive.Range(func(k, v any) bool {
+		revisions[strconv.Itoa(k.(int))] = v.(*Gauge).Value()
+		return true
+	})
+
 	m.shardMu.Lock()
 	shardLive := make([]int64, len(m.shardLive))
 	var live int64
@@ -221,6 +256,15 @@ func (m *Metrics) Snapshot() map[string]any {
 		"supervisor_engaged":    m.SupervisorEngaged.Value(),
 		"supervisor_disengaged": m.SupervisorDisengaged.Value(),
 		"provider_transitions":  transitions,
+		"revision_live":         revisions,
+		"rollout": map[string]any{
+			"started":     m.RolloutsStarted.Value(),
+			"completed":   m.RolloutsCompleted.Value(),
+			"rolled_back": m.RolloutsRolledBack.Value(),
+			"upgraded":    m.RolloutUpgraded.Value(),
+			"reverted":    m.RolloutReverted.Value(),
+			"failed":      m.RolloutFailed.Value(),
+		},
 		"checkpoint": map[string]any{
 			"writes":   m.CheckpointWrites.Value(),
 			"errors":   m.CheckpointErrors.Value(),

@@ -1,12 +1,10 @@
 package runtime
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
 	"perpos/internal/checkpoint"
-	"perpos/internal/core"
 	"perpos/internal/positioning"
 )
 
@@ -30,36 +28,12 @@ func (s *Session) Checkpoint() (uint64, error) {
 	if s.store == nil {
 		return 0, ErrNoCheckpoints
 	}
-	s.runMu.Lock()
-	defer s.runMu.Unlock()
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return 0, ErrClosed
-	}
-	r := s.runner
-	ctx, opts := s.runCtx, s.runnerOpts
-	s.mu.Unlock()
-	if r != nil {
-		_ = r.Stop()
-	}
-	seq, err := s.appendSnapshot()
-	if r != nil {
-		s.mu.Lock()
-		if s.closed || s.runner != r {
-			// Closed or stopped while paused: don't resurrect the runner.
-			s.mu.Unlock()
-			return seq, err
-		}
-		nr := core.NewRunner(s.graph, opts...)
-		if serr := nr.Start(ctx); serr != nil {
-			s.runner = nil
-			s.mu.Unlock()
-			return seq, errors.Join(err, serr)
-		}
-		s.runner = nr
-		s.mu.Unlock()
-	}
+	var seq uint64
+	err := s.pauseAndRun(func() error {
+		var err error
+		seq, err = s.appendSnapshot()
+		return err
+	})
 	return seq, err
 }
 
@@ -103,6 +77,7 @@ func (s *Session) appendSnapshot() (uint64, error) {
 		Taken:        s.clock(),
 		Graph:        gs,
 		Availability: int(s.provider.Availability()),
+		Revision:     s.Revision(),
 	})
 }
 
@@ -159,7 +134,15 @@ func (m *Manager) ResumeSession(id string) (*Session, error) {
 		s.touch()
 		return s, nil
 	}
-	s, err := newSession(id, m.cfg, m.clock)
+	// Resume always rehydrates onto the ACTIVE revision, not the one
+	// the checkpoint was captured at: state for nodes absent from the
+	// active layout is skipped by RestoreState, so a checkpoint taken
+	// before a rollout resumes cleanly after it.
+	rev, bp, err := m.activeBlueprint()
+	if err != nil {
+		return nil, err
+	}
+	s, err := newSession(id, rev, bp, m.cfg, m.clock)
 	if err != nil {
 		return nil, err
 	}
@@ -172,6 +155,6 @@ func (m *Manager) ResumeSession(id string) (*Session, error) {
 		sh.sessions = make(map[string]*Session)
 	}
 	sh.sessions[id] = s
-	m.noteCreated(id, true)
+	m.noteCreated(id, rev, true)
 	return s, nil
 }

@@ -4,7 +4,10 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"perpos/internal/core"
 )
 
 // Manager is the sharded session registry: one Session per tracked
@@ -18,9 +21,18 @@ import (
 // positioning.Manager cannot deadlock against it.
 type Manager struct {
 	cfg     SessionConfig
+	set     *core.BlueprintSet
 	shards  []shard
 	clock   func() time.Time
 	onEvict func(s *Session)
+
+	// activeRev is the revision new sessions instantiate. Rollout moves
+	// it when the ramp begins (forward) or the canary gate trips (back).
+	activeRev atomic.Int64
+
+	// rolloutMu serializes Rollout calls: two concurrent rollouts would
+	// fight over the active revision and each other's canaries.
+	rolloutMu sync.Mutex
 }
 
 type shard struct {
@@ -57,16 +69,38 @@ func WithOnEvict(fn func(s *Session)) Option {
 	return func(m *Manager) { m.onEvict = fn }
 }
 
-// NewManager returns a session manager for the given config.
+// NewManager returns a session manager for the given config. A lone
+// cfg.Blueprint is wrapped into a single-revision set, so every code
+// path — including Rollout — sees versioned blueprints; cfg.Blueprints
+// takes precedence when both are set.
 func NewManager(cfg SessionConfig, opts ...Option) (*Manager, error) {
-	if cfg.Blueprint == nil {
+	set := cfg.Blueprints
+	if set == nil {
+		if cfg.Blueprint == nil {
+			return nil, ErrNoBlueprint
+		}
+		set = core.NewBlueprintSet("default")
+		if _, err := set.Add(cfg.Blueprint); err != nil {
+			return nil, err
+		}
+	}
+	if set.Latest() == 0 {
 		return nil, ErrNoBlueprint
 	}
 	m := &Manager{
 		cfg:    cfg,
+		set:    set,
 		shards: make([]shard, 16),
 		clock:  time.Now,
 	}
+	initial := cfg.InitialRevision
+	if initial == 0 {
+		initial = set.Latest()
+	}
+	if _, err := set.Revision(initial); err != nil {
+		return nil, err
+	}
+	m.activeRev.Store(int64(initial))
 	for _, opt := range opts {
 		opt(m)
 	}
@@ -74,6 +108,34 @@ func NewManager(cfg SessionConfig, opts ...Option) (*Manager, error) {
 		m.cfg.Observability.InitShards(len(m.shards))
 	}
 	return m, nil
+}
+
+// Blueprints returns the manager's revision set (a single-revision
+// wrapper when the config supplied a lone Blueprint).
+func (m *Manager) Blueprints() *core.BlueprintSet { return m.set }
+
+// ActiveRevision returns the revision new sessions currently
+// instantiate.
+func (m *Manager) ActiveRevision() int { return int(m.activeRev.Load()) }
+
+// SetActiveRevision points new sessions at the given revision. Live
+// sessions are unaffected — Rollout migrates them.
+func (m *Manager) SetActiveRevision(rev int) error {
+	if _, err := m.set.Revision(rev); err != nil {
+		return err
+	}
+	m.activeRev.Store(int64(rev))
+	return nil
+}
+
+// activeBlueprint resolves the active revision to its blueprint.
+func (m *Manager) activeBlueprint() (int, *core.Blueprint, error) {
+	rev := m.ActiveRevision()
+	bp, err := m.set.Revision(rev)
+	if err != nil {
+		return 0, nil, err
+	}
+	return rev, bp, nil
 }
 
 func (m *Manager) shardIndex(id string) int {
@@ -86,9 +148,10 @@ func (m *Manager) shardFor(id string) *shard {
 	return &m.shards[m.shardIndex(id)]
 }
 
-// noteCreated / noteRetired keep the hub's lifecycle counters and the
-// per-shard live gauges in step with the registry.
-func (m *Manager) noteCreated(id string, resumed bool) {
+// noteCreated / noteRetired keep the hub's lifecycle counters, the
+// per-shard live gauges and the per-revision gauges in step with the
+// registry.
+func (m *Manager) noteCreated(id string, rev int, resumed bool) {
 	hub := m.cfg.Observability
 	if hub == nil {
 		return
@@ -101,9 +164,10 @@ func (m *Manager) noteCreated(id string, resumed bool) {
 	if g := hub.ShardLive(m.shardIndex(id)); g != nil {
 		g.Inc()
 	}
+	hub.RevisionLive(rev).Inc()
 }
 
-func (m *Manager) noteRetired(id string) {
+func (m *Manager) noteRetired(id string, rev int) {
 	hub := m.cfg.Observability
 	if hub == nil {
 		return
@@ -112,6 +176,7 @@ func (m *Manager) noteRetired(id string) {
 	if g := hub.ShardLive(m.shardIndex(id)); g != nil {
 		g.Dec()
 	}
+	hub.RevisionLive(rev).Dec()
 }
 
 // Get returns the live session for the target, if any.
@@ -144,16 +209,20 @@ func (m *Manager) GetOrCreate(id string) (*Session, error) {
 		s.touch()
 		return s, nil
 	}
-	s, err := newSession(id, m.cfg, m.clock)
+	rev, bp, err := m.activeBlueprint()
+	if err != nil {
+		return nil, err
+	}
+	ns, err := newSession(id, rev, bp, m.cfg, m.clock)
 	if err != nil {
 		return nil, err
 	}
 	if sh.sessions == nil {
 		sh.sessions = make(map[string]*Session)
 	}
-	sh.sessions[id] = s
-	m.noteCreated(id, false)
-	return s, nil
+	sh.sessions[id] = ns
+	m.noteCreated(id, rev, false)
+	return ns, nil
 }
 
 // Evict removes and closes the target's session, checkpointing its
@@ -185,7 +254,7 @@ func (m *Manager) retire(s *Session) {
 		_, _ = s.checkpointFinal()
 	}
 	s.close()
-	m.noteRetired(s.id)
+	m.noteRetired(s.id, s.Revision())
 	if m.onEvict != nil {
 		m.onEvict(s)
 	}

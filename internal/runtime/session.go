@@ -41,7 +41,18 @@ var (
 type SessionConfig struct {
 	// Blueprint is the shared pipeline structure every session
 	// instantiates. Its factories close over the immutable shared deps.
+	// Internally the manager wraps it into a single-revision
+	// BlueprintSet; set Blueprints instead to run a versioned fleet.
 	Blueprint *core.Blueprint
+	// Blueprints is the versioned alternative to Blueprint: a named set
+	// of revisions new sessions instantiate at the manager's active
+	// revision, and Manager.Rollout migrates live sessions between.
+	// Takes precedence over Blueprint when both are set.
+	Blueprints *core.BlueprintSet
+	// InitialRevision selects the revision new sessions start on
+	// (0 = the set's latest at manager construction). Manager.Rollout
+	// moves the active revision as it ramps.
+	InitialRevision int
 	// Overrides supplies the per-session instantiate options — typically
 	// core.WithComponentOverride for the blueprint's sensor placeholders,
 	// seeded or bound per target. May be nil when the blueprint has no
@@ -98,6 +109,11 @@ type Session struct {
 	inboxCap int
 	clock    func() time.Time
 
+	// instOpts rebuilds the per-session instantiate options (overrides
+	// + sink binding) — needed again at migration time, when changed
+	// placeholder slots of the new revision are re-resolved.
+	instOpts func() []core.InstantiateOption
+
 	monitor    *health.Monitor
 	supervisor *health.Supervisor
 	tapCancel  func()
@@ -121,12 +137,15 @@ type Session struct {
 	ckptStop chan struct{}
 	lastUsed time.Time
 	closed   bool
+	rev      int
 }
 
-// newSession instantiates the blueprint into a fresh session.
-func newSession(id string, cfg SessionConfig, clock func() time.Time) (*Session, error) {
+// newSession instantiates revision rev of the manager's blueprint set
+// into a fresh session.
+func newSession(id string, rev int, bp *core.Blueprint, cfg SessionConfig, clock func() time.Time) (*Session, error) {
 	s := &Session{
 		id:        id,
+		rev:       rev,
 		sinkID:    cfg.SinkID,
 		inboxCap:  cfg.InboxCapacity,
 		clock:     clock,
@@ -141,14 +160,16 @@ func newSession(id string, cfg SessionConfig, clock func() time.Time) (*Session,
 	// from the Positioning Layer (translucency per target).
 	s.provider = positioning.NewProvider(id, cfg.Provider, s.feature)
 
-	var opts []core.InstantiateOption
-	if cfg.Overrides != nil {
-		opts = cfg.Overrides(id)
+	s.instOpts = func() []core.InstantiateOption {
+		var opts []core.InstantiateOption
+		if cfg.Overrides != nil {
+			opts = cfg.Overrides(id)
+		}
+		return append(opts, core.WithComponentOverride(s.sinkID, func(cid string) core.Component {
+			return positioning.NewProviderSink(cid, s.provider)
+		}))
 	}
-	opts = append(opts, core.WithComponentOverride(s.sinkID, func(cid string) core.Component {
-		return positioning.NewProviderSink(cid, s.provider)
-	}))
-	g, err := cfg.Blueprint.Instantiate(opts...)
+	g, err := bp.Instantiate(s.instOpts()...)
 	if err != nil {
 		return nil, fmt.Errorf("runtime: session %q: %w", id, err)
 	}
@@ -263,11 +284,13 @@ func (s *Session) Monitor() *health.Monitor { return s.monitor }
 // disabled).
 func (s *Session) Supervisor() *health.Supervisor { return s.supervisor }
 
-// applyEdit is the supervisor's Adapter: the graph is frozen while the
-// async runner is active, so the runner is paused, the edit applied,
-// the channel layer refreshed, and a fresh runner started. Runs on the
-// supervisor goroutine, never on engine goroutines.
-func (s *Session) applyEdit(edit func(*core.Graph) error) error {
+// pauseAndRun is the shared pause→edit→resume seam: the graph is
+// frozen while the async runner is active, so the runner (if any) is
+// stopped, fn runs against the quiescent graph, and a fresh runner is
+// started with the saved context and options. Supervisor edits, manual
+// checkpoints and revision migrations all go through here. fn's error
+// does not abort the resume; a restart failure is joined onto it.
+func (s *Session) pauseAndRun(fn func() error) error {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
 	s.mu.Lock()
@@ -283,8 +306,7 @@ func (s *Session) applyEdit(edit func(*core.Graph) error) error {
 		// pause for adaptation is not a failure of the edit.
 		_ = r.Stop()
 	}
-	err := edit(s.graph)
-	s.layer.Refresh()
+	err := fn()
 	if r != nil {
 		s.mu.Lock()
 		if s.closed || s.runner != r {
@@ -302,6 +324,53 @@ func (s *Session) applyEdit(edit func(*core.Graph) error) error {
 		s.mu.Unlock()
 	}
 	return err
+}
+
+// applyEdit is the supervisor's Adapter: pause, apply the edit, refresh
+// the channel layer, resume. Runs on the supervisor goroutine, never on
+// engine goroutines.
+func (s *Session) applyEdit(edit func(*core.Graph) error) error {
+	return s.pauseAndRun(func() error {
+		err := edit(s.graph)
+		s.layer.Refresh()
+		return err
+	})
+}
+
+// Revision returns the blueprint revision the session currently runs.
+func (s *Session) Revision() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rev
+}
+
+// migrate maps the session's live graph onto revision `to` of the set
+// through the pause seam: the runner is paused, the cached migration
+// plan applied in place (unchanged nodes keep their instances and
+// state; changed subgraphs are re-instantiated with the session's own
+// overrides), the channel layer refreshed, and the runner resumed. On
+// a failed plan application the graph has already been rolled back to
+// the old revision with state restored (core.MigrationPlan.Apply), so
+// the session keeps serving either way.
+func (s *Session) migrate(set *core.BlueprintSet, to int) error {
+	return s.pauseAndRun(func() error {
+		s.mu.Lock()
+		from := s.rev
+		s.mu.Unlock()
+		if from == to {
+			return nil
+		}
+		if err := set.Migrate(s.graph, from, to, s.instOpts()...); err != nil {
+			s.layer.Refresh()
+			return fmt.Errorf("runtime: migrate session %q %d->%d: %w", s.id, from, to, err)
+		}
+		s.layer.Refresh()
+		s.mu.Lock()
+		s.rev = to
+		s.lastUsed = s.clock()
+		s.mu.Unlock()
+		return nil
+	})
 }
 
 // Run drives the session synchronously until its sources are exhausted
