@@ -48,7 +48,10 @@ func run(args []string) error {
 	series := fs.Bool("series", false, "emit plot series where supported (E5)")
 	jsonPath := fs.String("json", "", "write per-experiment timings (ns/op, samples/s, allocs/op, B/op) to this file")
 	compare := fs.Bool("compare", false, "compare two timing JSON files (old new) and fail on regressions beyond -tol")
-	tol := fs.String("tol", "10%", "allowed regression for -compare, as a percentage (10%) or fraction (0.1)")
+	ratio := fs.String("ratio", "", "timing JSON file for a within-run overhead gate: every -against entry must be within -tol of the matching -base entry")
+	base := fs.String("base", "", "benchmark ID prefix of the baseline family for -ratio")
+	against := fs.String("against", "", "benchmark ID prefix of the measured family for -ratio")
+	tol := fs.String("tol", "10%", "allowed regression for -compare/-ratio, as a percentage (10%) or fraction (0.1)")
 	gobench := fs.String("gobench", "", "convert `go test -bench` output (a file, or - for stdin) to timing JSON instead of running experiments")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +77,12 @@ func run(args []string) error {
 			return fmt.Errorf("-compare needs exactly two timing files (old new), got %d", len(operands))
 		}
 		return compareTimings(operands[0], operands[1], *tol)
+	}
+	if *ratio != "" {
+		if *base == "" || *against == "" {
+			return fmt.Errorf("-ratio needs -base and -against benchmark ID prefixes")
+		}
+		return ratioGate(*ratio, *base, *against, *tol)
 	}
 	if *gobench != "" {
 		return convertGoBench(*gobench, *jsonPath)
@@ -287,6 +296,68 @@ func compareTimings(oldPath, newPath, tolSpec string) error {
 		return fmt.Errorf("%d regression(s):\n  %s", len(regressions), strings.Join(regressions, "\n  "))
 	}
 	fmt.Printf("all %d timings within %.0f%% of %s\n", len(baseline), tolerance*100, oldPath)
+	return nil
+}
+
+// ratioGate is the within-run overhead gate: for every timing in one
+// file whose ID starts with basePrefix, the entry with the same suffix
+// under againstPrefix must exist and must not be worse by more than the
+// tolerance. Because both families come from the same run on the same
+// machine, the tolerance can be far tighter than the cross-run
+// -compare gate — it bounds a feature's overhead, not hardware jitter.
+func ratioGate(path, basePrefix, againstPrefix, tolSpec string) error {
+	tolerance, err := parseTolerance(tolSpec)
+	if err != nil {
+		return err
+	}
+	timings, err := readTimings(path)
+	if err != nil {
+		return err
+	}
+	byID := make(map[string]timing, len(timings))
+	for _, t := range timings {
+		byID[t.ID] = t
+	}
+
+	checked := 0
+	var regressions []string
+	for _, b := range timings {
+		if b.ID != basePrefix && !strings.HasPrefix(b.ID, basePrefix+"/") {
+			continue
+		}
+		id := againstPrefix + strings.TrimPrefix(b.ID, basePrefix)
+		n, ok := byID[id]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: no matching %s entry", b.ID, id))
+			fmt.Printf("%-52s MISSING %s\n", b.ID, id)
+			continue
+		}
+		metrics := pickMetrics(b, n)
+		if len(metrics) == 0 {
+			regressions = append(regressions, fmt.Sprintf("%s vs %s: no comparable metric", b.ID, id))
+			continue
+		}
+		checked++
+		for _, m := range metrics {
+			delta := (m.newV - m.oldV) / m.oldV
+			bad := (m.higherBetter && delta < -tolerance) || (!m.higherBetter && delta > tolerance)
+			status := "ok"
+			if bad {
+				status = "REGRESSED"
+				regressions = append(regressions, fmt.Sprintf("%s vs %s: %s %.4g -> %.4g (%+.1f%%, tolerance %.0f%%)",
+					b.ID, id, m.name, m.oldV, m.newV, delta*100, tolerance*100))
+			}
+			fmt.Printf("%-52s %-12s base=%-12.4g new=%-12.4g %+6.1f%%  %s\n",
+				id, m.name, m.oldV, m.newV, delta*100, status)
+		}
+	}
+	if checked == 0 && len(regressions) == 0 {
+		return fmt.Errorf("no %s entries in %s", basePrefix, path)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d overhead violation(s):\n  %s", len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("all %d %s timings within %.0f%% of %s\n", checked, againstPrefix, tolerance*100, basePrefix)
 	return nil
 }
 

@@ -29,6 +29,12 @@
 //	perpos-run -rollout-fail        # same roll with a broken WiFi branch:
 //	                                # the canary gate trips and the fleet
 //	                                # is rolled back to the old revision
+//	perpos-run -rules examples/configs/rules-fusion.json
+//	                                # self-adaptation demo: declarative
+//	                                # rules engage live graph edits as the
+//	                                # GPS accuracy degrades, defer to a
+//	                                # supervisor reroute during a WiFi
+//	                                # outage, and unwind on recovery
 //
 // Configurations (see internal/config) may reference two pre-built
 // instances: "gps" (a receiver on a commute trace) and "app" (a
@@ -54,12 +60,14 @@ import (
 	"perpos/internal/checkpoint"
 	"perpos/internal/config"
 	"perpos/internal/core"
+	"perpos/internal/energy"
 	"perpos/internal/eval"
 	"perpos/internal/filter"
 	"perpos/internal/gps"
 	"perpos/internal/health"
 	"perpos/internal/obs"
 	"perpos/internal/positioning"
+	"perpos/internal/rules"
 	"perpos/internal/runtime"
 	"perpos/internal/trace"
 	"perpos/internal/wifi"
@@ -83,6 +91,7 @@ func run(args []string) error {
 	rolloutDemo := fs.Bool("rollout", false, "roll a live session fleet from the GPS-only revision to the fusion revision (canary → gate → ramp)")
 	rolloutFail := fs.Bool("rollout-fail", false, "rollout demo with a broken WiFi branch: the canary gate trips and the fleet rolls back")
 	chaosScript := fs.String("chaos-script", "", "pipeline JSON whose chaos block drives the -chaos fault script (default: built-in kill/heal)")
+	rulesPath := fs.String("rules", "", "pipeline JSON whose rules block drives the self-adaptation demo (engage → arbitrate → disengage transcript)")
 	checkpointDir := fs.String("checkpoint-dir", "", "directory for durable session checkpoints; with -chaos the session is evicted and resumed from it")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (JSON) and /debug/pprof on this address while running (\":0\" picks a free port); with -targets or -chaos the session runtime reports into it")
 	if err := fs.Parse(args); err != nil {
@@ -110,6 +119,9 @@ func run(args []string) error {
 	}
 	if *targets > 0 {
 		return runTargets(*targets, *seed, hub)
+	}
+	if *rulesPath != "" {
+		return runRules(*rulesPath, *seed, hub)
 	}
 	if *chaosDemo {
 		return runChaos(*seed, *checkpointDir, *chaosScript, hub)
@@ -487,6 +499,222 @@ func runChaos(seed int64, ckptDir, scriptPath string, hub *obs.Metrics) error {
 		_ = s2.Stop()
 		fmt.Printf("resumed session delivered %d positions from checkpointed state\n", resumed.Load())
 	}
+	return nil
+}
+
+// runRules is the self-adaptation demo: a supervised fusion session
+// carrying the declarative rules from a pipeline definition's rules
+// block. A chaos corruptor pins the GPS HDOP on cue — the indoor walk's
+// true HDOP sits above every threshold, so both the healthy and the
+// degraded phases rewrite it. When accuracy degrades the insert rule
+// splices an HDOP filter into the live pipeline and the swap rule
+// reroutes delivery to the WiFi branch; a chaos WiFi outage then forces
+// the supervisor to seize the contested edge (supervisor reroutes beat
+// rules); after the heal the swap rule re-engages on its own, and a
+// clean signal unwinds everything. The indented transcript lines are
+// the rule engine's own event stream.
+func runRules(path string, seed int64, hub *obs.Metrics) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	p, err := config.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if p.Rules == nil {
+		return fmt.Errorf("%s has no rules block", path)
+	}
+
+	b := building.Evaluation()
+	network := wifi.DefaultDeployment(b)
+	db := wifi.Survey(network, 0, wifi.SurveyConfig{Seed: seed + 1, GridStep: 4})
+	reg, err := catalog.Standard(catalog.Deps{Building: b, Database: db})
+	if err != nil {
+		return err
+	}
+	loader := &config.Loader{
+		Registry: reg,
+		Features: map[string]func() core.Feature{
+			"hdop":     func() core.Feature { return gps.NewHDOPFeature() },
+			"periodic": func() core.Feature { return energy.NewPeriodicStrategy(5*time.Second, time.Second) },
+		},
+	}
+	rs, err := loader.Rules(p.Rules)
+	if err != nil {
+		return err
+	}
+	var insertRule, swapRule, insertNode string
+	for _, r := range rs {
+		fmt.Printf("rule %-16s when %s\n", r.Name, r.When)
+		switch a := r.Action.(type) {
+		case *rules.InsertAction:
+			insertRule, insertNode = r.Name, a.ID
+		case *rules.SwapAction:
+			swapRule = r.Name
+		}
+	}
+	if insertRule == "" || swapRule == "" {
+		return fmt.Errorf("%s: the demo script needs an insert rule and a swap rule", path)
+	}
+
+	bp, err := catalog.FusionBlueprint(
+		catalog.Deps{Building: b, Database: db},
+		filter.Config{Particles: 150, Seed: seed + 2})
+	if err != nil {
+		return err
+	}
+	tr := trace.CorridorWalk(b, seed, 600, time.Second)
+
+	// The script steers this: the corruptor pins every fix's HDOP so the
+	// rule conditions see a crisp signal. 9.9 sits above both engage
+	// thresholds; 3.0 sits inside the hysteresis band (rules stay
+	// latched) yet below the inserted filter's drop cutoff, so the GPS
+	// branch still delivers while the supervisor owns the edge; 1.0
+	// clears everything.
+	hdop := &atomic.Value{}
+	hdop.Store(1.0)
+	corrupt := func(s core.Sample) core.Sample {
+		raw, ok := s.Payload.(string)
+		if !ok {
+			return s
+		}
+		s.Payload = gps.RewriteHDOP(raw, hdop.Load().(float64))
+		return s
+	}
+
+	policy := &health.Policy{
+		MaxConsecutiveErrors: 2,
+		Deadlines:            map[string]time.Duration{"wifi": 200 * time.Millisecond},
+		ProbeInterval:        10 * time.Millisecond,
+		Sweep:                5 * time.Millisecond,
+		Restart:              core.RestartPolicy{Base: 2 * time.Millisecond, Max: 20 * time.Millisecond},
+	}
+	reroutes := catalog.FusionDegradation()
+	if p.Supervision != nil {
+		pl := p.Supervision.Policy()
+		policy = &pl
+		reroutes = p.Supervision.HealthReroutes()
+	}
+
+	var wifiChaos *chaos.Source
+	m, err := runtime.NewManager(runtime.SessionConfig{
+		Blueprint:     bp,
+		Provider:      positioning.ProviderInfo{Technology: "fused", TypicalAccuracy: 4},
+		History:       32,
+		Observability: hub,
+		Overrides: func(string) []core.InstantiateOption {
+			return []core.InstantiateOption{
+				core.WithComponentOverride("gps", func(cid string) core.Component {
+					return chaos.WrapSource(
+						gps.NewReceiver(cid, tr, gps.Config{Seed: seed + 3, ColdStart: time.Second}),
+						chaos.WithCorrupt(1, corrupt))
+				}),
+				core.WithComponentOverride("wifi", func(cid string) core.Component {
+					wifiChaos = chaos.WrapSource(wifi.NewSensor(cid, network, tr, time.Second, seed+4))
+					return wifiChaos
+				}),
+			}
+		},
+		Health:   policy,
+		Reroutes: reroutes,
+		Rules:    rs,
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+
+	s, err := m.GetOrCreate("demo")
+	if err != nil {
+		return err
+	}
+	eng := s.Rules()
+	eng.OnEvent(func(ev rules.Event) {
+		if ev.Reason != "" {
+			fmt.Printf("  rule %-16s %-12s (%s)\n", ev.Rule, ev.Type, ev.Reason)
+			return
+		}
+		fmt.Printf("  rule %-16s %s\n", ev.Rule, ev.Type)
+	})
+	var delivered atomic.Int64
+	s.Provider().Subscribe(func(positioning.Position) { delivered.Add(1) })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := s.Start(ctx, core.WithSourceInterval(5*time.Millisecond)); err != nil {
+		return err
+	}
+	wait := func(what string, cond func() bool) error {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return nil
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return errors.New("timed out waiting for " + what)
+	}
+	hasNode := func(id string) bool {
+		_, ok := s.Graph().Node(id)
+		return ok
+	}
+
+	if err := wait("fused positions", func() bool { return delivered.Load() >= 5 }); err != nil {
+		return err
+	}
+	fmt.Printf("fusion delivering (%d positions); degrading GPS accuracy (HDOP -> 9.9)\n", delivered.Load())
+
+	hdop.Store(9.9)
+	if err := wait("rule engagement", func() bool {
+		return eng.Engaged(insertRule) && eng.Engaged(swapRule) && hasNode(insertNode)
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("rules engaged: %s spliced into the live pipeline, delivery rerouted to the WiFi branch\n", insertNode)
+
+	// Ease HDOP into the hysteresis band before the outage: the rules
+	// stay latched, but the spliced filter passes fixes again, so the
+	// supervisor's GPS fallback has something to deliver.
+	hdop.Store(3.0)
+	wifiChaos.Kill(nil)
+	if err := wait("supervisor arbitration", func() bool {
+		return s.Supervisor().Degraded() && !eng.Engaged(swapRule)
+	}); err != nil {
+		return err
+	}
+	atOutage := delivered.Load()
+	if err := wait("positions during the outage", func() bool {
+		return delivered.Load() >= atOutage+5
+	}); err != nil {
+		return err
+	}
+	fmt.Println("WiFi outage: supervisor reroute seized the contested edge, swap rule stood down; positions kept flowing")
+
+	hdop.Store(9.9) // accuracy is still bad when the sensor returns
+	wifiChaos.Heal()
+	if err := wait("re-engagement after the heal", func() bool {
+		return !s.Supervisor().Degraded() && eng.Engaged(swapRule)
+	}); err != nil {
+		return err
+	}
+	fmt.Println("WiFi healed: supervisor released the edge, swap rule re-engaged on its own")
+
+	hdop.Store(1.0)
+	if err := wait("disengagement on the clean signal", func() bool {
+		return !eng.Engaged(insertRule) && !eng.Engaged(swapRule) && !hasNode(insertNode)
+	}); err != nil {
+		return err
+	}
+	fmt.Println("accuracy recovered: rules disengaged, graph restored")
+
+	_ = s.Stop() // the injected outage leaves expected errors behind
+	for _, st := range eng.Status() {
+		fmt.Printf("rule %-16s engagements=%d disengagements=%d deferrals=%d rollbacks=%d quarantined=%v\n",
+			st.Name, st.Engagements, st.Disengagements, st.Deferrals, st.Rollbacks, st.Quarantined)
+	}
+	fmt.Printf("self-adaptation demo complete: %d positions total\n", delivered.Load())
 	return nil
 }
 

@@ -185,6 +185,30 @@ func TestBinariesSmoke(t *testing.T) {
 		}
 	})
 
+	t.Run("perpos-run-rules", func(t *testing.T) {
+		out := runBin(t, bins["perpos-run"], "-rules", "examples/configs/rules-fusion.json", "-seed", "7")
+		for _, want := range []string{
+			"rule accuracy-filter  when attr:hdop > 4",
+			"insert hdop-filter between parser and interpreter",
+			"rules engaged: hdop-filter spliced into the live pipeline",
+			"supervisor-conflict",
+			"swap rule stood down; positions kept flowing",
+			"swap rule re-engaged on its own",
+			"accuracy recovered: rules disengaged, graph restored",
+			"rule provider-swap    engagements=2 disengagements=2",
+			"self-adaptation demo complete",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("rules demo output missing %q:\n%s", want, out)
+			}
+		}
+		// The flap damper must have absorbed the whole script: no rule
+		// may end the demo benched.
+		if strings.Contains(out, "quarantined=true") {
+			t.Errorf("a rule ended the demo quarantined:\n%s", out)
+		}
+	})
+
 	t.Run("perpos-run-checkpoint-resume", func(t *testing.T) {
 		dir := filepath.Join(t.TempDir(), "ckpt")
 		out := runBin(t, bins["perpos-run"], "-chaos", "-seed", "7", "-checkpoint-dir", dir)
@@ -345,6 +369,61 @@ func TestBinariesSmoke(t *testing.T) {
 		}
 		if !strings.Contains(out, "allocs/op") || !strings.Contains(out, "REGRESSED") {
 			t.Errorf("alloc regression output missing diagnosis:\n%s", out)
+		}
+	})
+
+	t.Run("perpos-bench-ratio", func(t *testing.T) {
+		// The within-run overhead gate: ruled throughput is compared to
+		// its observed twin from the SAME timings file, so scheduler
+		// drift between runs cannot mask (or fake) engine overhead.
+		dir := t.TempDir()
+		paired := filepath.Join(dir, "paired.json")
+		if err := os.WriteFile(paired, []byte(`[
+  {"id": "BenchmarkObserved/sessions_10", "title": "", "ns_op": 100000, "samples_per_sec": 1000},
+  {"id": "BenchmarkRuled/sessions_10", "title": "", "ns_op": 101000, "samples_per_sec": 991},
+  {"id": "BenchmarkObserved/sessions_100", "title": "", "ns_op": 100000, "samples_per_sec": 9800},
+  {"id": "BenchmarkRuled/sessions_100", "title": "", "ns_op": 100000, "samples_per_sec": 9750}
+]`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out := runBin(t, bins["perpos-bench"], "-ratio", paired,
+			"-base", "BenchmarkObserved", "-against", "BenchmarkRuled", "-tol", "2%")
+		if !strings.Contains(out, "all 2 BenchmarkRuled timings within 2% of BenchmarkObserved") {
+			t.Errorf("ratio gate did not pass a within-tolerance pair:\n%s", out)
+		}
+
+		// 6% overhead on one family: the gate must fail and say which.
+		slow := filepath.Join(dir, "slow.json")
+		if err := os.WriteFile(slow, []byte(`[
+  {"id": "BenchmarkObserved/sessions_10", "title": "", "ns_op": 100000, "samples_per_sec": 1000},
+  {"id": "BenchmarkRuled/sessions_10", "title": "", "ns_op": 106000, "samples_per_sec": 940}
+]`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err := runBinErr(bins["perpos-bench"], "-ratio", slow,
+			"-base", "BenchmarkObserved", "-against", "BenchmarkRuled", "-tol", "2%")
+		if err == nil {
+			t.Fatalf("ratio gate passed a 6%% overhead:\n%s", out)
+		}
+		if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "overhead violation") {
+			t.Errorf("ratio regression output missing diagnosis:\n%s", out)
+		}
+
+		// A ruled family missing its observed twin is a failure, not a
+		// silently skipped comparison.
+		lonely := filepath.Join(dir, "lonely.json")
+		if err := os.WriteFile(lonely, []byte(`[
+  {"id": "BenchmarkObserved/sessions_10", "title": "", "ns_op": 100000, "samples_per_sec": 1000}
+]`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		out, err = runBinErr(bins["perpos-bench"], "-ratio", lonely,
+			"-base", "BenchmarkObserved", "-against", "BenchmarkRuled", "-tol", "2%")
+		if err == nil {
+			t.Fatalf("ratio gate passed with no ruled entries:\n%s", out)
+		}
+		if !strings.Contains(out, "MISSING") {
+			t.Errorf("missing-twin output lacks diagnosis:\n%s", out)
 		}
 	})
 

@@ -15,10 +15,12 @@ import (
 
 	"perpos/internal/building"
 	"perpos/internal/core"
+	"perpos/internal/energy"
 	"perpos/internal/filter"
 	"perpos/internal/gps"
 	"perpos/internal/health"
 	"perpos/internal/registry"
+	"perpos/internal/rules"
 	"perpos/internal/transport"
 	"perpos/internal/wifi"
 )
@@ -71,6 +73,15 @@ func Standard(deps Deps) (*registry.Registry, error) {
 			Name: "HMMSmoother",
 			Spec: transport.NewHMMSmoother("proto", 0).Spec(),
 			New:  func(id string) core.Component { return transport.NewHMMSmoother(id, 0) },
+		},
+		// Registered after the Parser so an open sentence requirement
+		// resolves to the parser, never to a pass-through filter. The
+		// rules engine (and RulesDef configs) instantiate this type when
+		// the AccuracyFilterRule engages.
+		{
+			Name: "HDOPFilter",
+			Spec: gps.NewHDOPFilter("proto", DefaultMaxHDOP).Spec(),
+			New:  func(id string) core.Component { return gps.NewHDOPFilter(id, DefaultMaxHDOP) },
 		},
 	}
 	if deps.Building != nil {
@@ -307,4 +318,92 @@ func FusionDegradation() []health.Reroute {
 			Priority: 1,
 		},
 	}
+}
+
+// Tuning for the shipped self-adaptation rules — the paper's §3 case
+// studies as data. The thresholds follow the usual GPS accuracy bands:
+// HDOP up to ~2 is good, above ~4-5 the fix is poor.
+const (
+	// DefaultMaxHDOP is the HDOPFilter registration's cutoff: sentences
+	// with a worse (higher) HDOP are dropped.
+	DefaultMaxHDOP = 4.0
+	// EngageHDOP / ClearHDOP are the AccuracyFilterRule's hysteresis
+	// band: degrade past EngageHDOP and the filter goes in; only when
+	// the signal recovers below ClearHDOP does it come out.
+	EngageHDOP = 4.0
+	ClearHDOP  = 2.5
+	// SwapHDOP is the ProviderSwapRule's threshold: GPS accuracy so
+	// poor the WiFi fingerprint position is the better provider.
+	SwapHDOP = 6.0
+	// IdleSpeedMS is the PowerRule's threshold: a target moving slower
+	// than this (m/s) is effectively stationary, so the receiver can
+	// duty-cycle.
+	IdleSpeedMS = 0.3
+)
+
+// AccuracyFilterRule is the §3.1/§3.2 case study as data: when the
+// HDOP attached by the parser's HDOP feature degrades past the engage
+// threshold, an HDOPFilter is spliced between parser and interpreter
+// so poor fixes stop reaching the position chain; when HDOP recovers
+// below the clear threshold, the filter is removed. The hysteresis
+// band between the two thresholds plus the dwell times keep a noisy
+// boundary signal from flapping the graph.
+func AccuracyFilterRule() rules.Rule {
+	return rules.Rule{
+		Name:        "accuracy-filter",
+		When:        rules.Condition{Signal: "attr:" + gps.AttrHDOP, Op: rules.OpGT, Value: EngageHDOP},
+		ClearWhen:   &rules.Condition{Signal: "attr:" + gps.AttrHDOP, Op: rules.OpLT, Value: ClearHDOP},
+		EngageAfter: 100 * time.Millisecond,
+		Action: &rules.InsertAction{
+			ID:    "hdop-filter",
+			Build: func(id string) core.Component { return gps.NewHDOPFilter(id, DefaultMaxHDOP) },
+			From:  "parser",
+			To:    "interpreter",
+			Port:  0,
+		},
+	}
+}
+
+// ProviderSwapRule is the §3.3 case study as data: under severely
+// degraded GPS accuracy the fused output is bypassed in favour of the
+// WiFi fingerprint position. Its action deliberately reuses the
+// supervisor's Break/Make edges for the fused output, so when a real
+// branch failure triggers a supervisor reroute on the same edge the
+// supervisor wins and this rule defers until the graph heals.
+func ProviderSwapRule() rules.Rule {
+	return rules.Rule{
+		Name:        "provider-swap",
+		When:        rules.Condition{Signal: "attr:" + gps.AttrHDOP, Op: rules.OpGT, Value: SwapHDOP},
+		ClearWhen:   &rules.Condition{Signal: "attr:" + gps.AttrHDOP, Op: rules.OpLT, Value: ClearHDOP},
+		EngageAfter: 150 * time.Millisecond,
+		Action: &rules.SwapAction{
+			Break: core.Edge{From: "particle-filter", To: "app", Port: 0},
+			Make:  core.Edge{From: "wifi-positioning", To: "app", Port: 0},
+		},
+	}
+}
+
+// PowerRule is the §3.2 power case study as data: when the
+// interpreter's dead-reckoned speed shows the target effectively
+// stationary, a periodic duty-cycling strategy is attached to the GPS
+// receiver; movement detaches it again. The action is a pure feature
+// edit with no structural footprint, so it never conflicts with
+// supervisor reroutes.
+func PowerRule() rules.Rule {
+	return rules.Rule{
+		Name:        "power-periodic",
+		When:        rules.Condition{Signal: "attr:speedMS@interpreter", Op: rules.OpLT, Value: IdleSpeedMS},
+		ClearWhen:   &rules.Condition{Signal: "attr:speedMS@interpreter", Op: rules.OpGT, Value: 2 * IdleSpeedMS},
+		EngageAfter: 500 * time.Millisecond,
+		Action: &rules.FeatureAction{
+			Target: "gps",
+			Name:   energy.FeaturePeriodic,
+			Build:  func() core.Feature { return energy.NewPeriodicStrategy(5*time.Second, time.Second) },
+		},
+	}
+}
+
+// StandardRules bundles the three case-study rules.
+func StandardRules() []rules.Rule {
+	return []rules.Rule{AccuracyFilterRule(), ProviderSwapRule(), PowerRule()}
 }

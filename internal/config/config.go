@@ -70,6 +70,10 @@ type Pipeline struct {
 	// InitialRevision selects the revision new sessions start on
 	// (0 = latest). Only meaningful with Revisions.
 	InitialRevision int `json:"initial_revision,omitempty"`
+	// Rules declares self-adaptation rules: conditions over live
+	// signals driving reversible graph edits through the supervisor
+	// sweep. Consumed by the session runtime; nil means no rules.
+	Rules *RulesDef `json:"rules,omitempty"`
 	// Rollout declares default rolling-upgrade parameters for the
 	// pipeline's fleet: canary sizing, soak window, and the metric gate
 	// that decides ramp versus rollback. Consumed by the session

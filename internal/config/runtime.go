@@ -112,6 +112,13 @@ func (l *Loader) Manager(p Pipeline, base runtime.SessionConfig, opts ...runtime
 		cfg.Health = &pol
 		cfg.Reroutes = p.Supervision.HealthReroutes()
 	}
+	if p.Rules != nil {
+		rs, err := l.Rules(p.Rules)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Rules = rs
+	}
 	if p.Checkpoint != nil && cfg.Checkpoints == nil {
 		store, err := p.Checkpoint.Open()
 		if err != nil {

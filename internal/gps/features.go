@@ -1,6 +1,9 @@
 package gps
 
 import (
+	"strconv"
+	"strings"
+
 	"perpos/internal/core"
 	"perpos/internal/nmea"
 )
@@ -140,6 +143,71 @@ func NewSatelliteFilter(id string, minSats int) *core.FuncComponent {
 			return nil
 		},
 	}
+}
+
+// NewHDOPFilter returns the §3.2 accuracy filter component: inserted
+// after the Parser, it forwards only measurements whose HDOP (as
+// attached by the HDOP feature) is at most maxHDOP. Sentences without
+// an HDOP attribute (e.g. RMC) pass through — the accuracy decision is
+// only meaningful for fix measurements. The rules engine inserts and
+// removes this component as HDOP degrades and recovers.
+func NewHDOPFilter(id string, maxHDOP float64) *core.FuncComponent {
+	return &core.FuncComponent{
+		CompID: id,
+		CompSpec: core.Spec{
+			Name: "HDOPFilter",
+			Inputs: []core.PortSpec{{
+				Name:             "nmea",
+				Accepts:          []core.Kind{KindSentence},
+				RequiresFeatures: []string{FeatureHDOP},
+			}},
+			Output: core.OutputSpec{Kind: KindSentence},
+		},
+		Fn: func(_ int, in core.Sample, emit core.Emit) error {
+			if h, ok := in.FloatAttr(AttrHDOP); ok && h > maxHDOP {
+				return nil
+			}
+			emit(in)
+			return nil
+		},
+	}
+}
+
+// RewriteHDOP returns a copy of a raw NMEA GGA or GSA sentence with
+// its HDOP field replaced and the checksum recomputed. Both carry HDOP
+// on the wire, and the parser-side HDOP feature reads it from either —
+// rewriting only one type would leave the clean value flickering back
+// through the other. Sentences of other types (and malformed ones) are
+// returned unchanged. It exists for chaos scenarios: wrap a receiver
+// with chaos.WithCorrupt and rewrite the HDOP of every fix sentence
+// flowing out to simulate accuracy degradation that the real parser
+// and HDOP feature then observe.
+func RewriteHDOP(raw string, hdop float64) string {
+	payload := strings.TrimPrefix(strings.TrimRight(raw, "\r\n"), "$")
+	if i := strings.IndexByte(payload, '*'); i >= 0 {
+		payload = payload[:i]
+	}
+	comma := strings.IndexByte(payload, ',')
+	if comma < 0 {
+		return raw
+	}
+	// HDOP's field index per sentence type: GGA field 8, GSA field 16
+	// (after the twelve PRN slots and PDOP).
+	var idx int
+	switch {
+	case strings.HasSuffix(payload[:comma], "GGA"):
+		idx = 8
+	case strings.HasSuffix(payload[:comma], "GSA"):
+		idx = 16
+	default:
+		return raw
+	}
+	fields := strings.Split(payload, ",")
+	if len(fields) <= idx {
+		return raw
+	}
+	fields[idx] = strconv.FormatFloat(hdop, 'f', 1, 64)
+	return nmea.Frame(strings.Join(fields, ","))
 }
 
 // hdopOf extracts HDOP from a parsed-sentence sample. Both GGA and GSA

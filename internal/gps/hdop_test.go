@@ -1,0 +1,82 @@
+package gps
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"perpos/internal/core"
+	"perpos/internal/nmea"
+)
+
+func TestRewriteHDOP(t *testing.T) {
+	gga := nmea.GGA{Time: time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC),
+		Lat: 56.16, Lon: 10.20, Quality: nmea.FixGPS, NumSatellites: 7, HDOP: 1.2, Altitude: 55}.Format()
+	gsa := nmea.GSA{Auto: true, FixMode: 3, PRNs: []int{1, 2, 3, 4}, PDOP: 1.7, HDOP: 1.2, VDOP: 1.4}.Format()
+	rmc := nmea.RMC{Time: time.Date(2026, 1, 1, 12, 0, 0, 0, time.UTC), Valid: true, Lat: 56.16, Lon: 10.20}.Format()
+
+	for _, raw := range []string{gga, gsa} {
+		out := RewriteHDOP(raw, 9.9)
+		if out == raw {
+			t.Fatalf("RewriteHDOP left %q unchanged", raw)
+		}
+		s, err := nmea.Parse(out)
+		if err != nil {
+			t.Fatalf("rewritten sentence no longer parses (checksum?): %v\n%q", err, out)
+		}
+		switch v := s.(type) {
+		case nmea.GGA:
+			if v.HDOP != 9.9 {
+				t.Fatalf("GGA HDOP = %v, want 9.9", v.HDOP)
+			}
+		case nmea.GSA:
+			if v.HDOP != 9.9 {
+				t.Fatalf("GSA HDOP = %v, want 9.9", v.HDOP)
+			}
+			if v.PDOP != 1.7 || v.VDOP != 1.4 {
+				t.Fatalf("GSA neighbours disturbed: %+v", v)
+			}
+		default:
+			t.Fatalf("rewritten sentence parsed as %T", s)
+		}
+	}
+
+	// Non-fix sentences and garbage pass through untouched.
+	for _, raw := range []string{rmc, "not nmea at all", "$GPGGA"} {
+		if out := RewriteHDOP(raw, 9.9); out != raw {
+			t.Fatalf("RewriteHDOP(%q) = %q, want unchanged", raw, out)
+		}
+	}
+}
+
+func TestHDOPFilterDropsPoorFixes(t *testing.T) {
+	f := NewHDOPFilter("flt", 4)
+	var out []core.Sample
+	emit := func(s core.Sample) { out = append(out, s) }
+
+	mk := func(hdop float64, withAttr bool) core.Sample {
+		s := core.NewSample(KindSentence, nil, time.Time{})
+		if withAttr {
+			s = s.WithAttr(AttrHDOP, hdop)
+		}
+		return s
+	}
+	if err := f.Process(0, mk(9.9, true), emit); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatal("poor fix passed the filter")
+	}
+	if err := f.Process(0, mk(1.2, true), emit); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Process(0, mk(0, false), emit); err != nil { // no attr: pass
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("delivered %d samples, want good fix + attrless", len(out))
+	}
+	if !strings.Contains(f.Spec().Name, "HDOPFilter") {
+		t.Fatalf("spec name = %q", f.Spec().Name)
+	}
+}

@@ -69,6 +69,8 @@ type Supervisor struct {
 	engaged   map[int]int // group index → engaged reroute index
 	listeners []func(Event)
 	onReroute []func(engaged bool)
+	onSweep   []func(now time.Time)
+	sweepBuf  []func(now time.Time) // reused snapshot; Sweep is single-goroutine
 	cancel    context.CancelFunc
 	done      chan struct{}
 }
@@ -128,6 +130,42 @@ func (s *Supervisor) OnReroute(fn func(engaged bool)) {
 	s.mu.Unlock()
 }
 
+// OnSweep registers a hook that runs at the end of every sweep, after
+// breakers have advanced and reroutes have been reconciled — the seam
+// the rules engine piggybacks on, so rule evaluation always sees the
+// supervisor's claims for the same instant. Hooks run serially on the
+// supervisor goroutine (or the Sweep caller) and may apply edits
+// through the same adapter. Register before Start.
+func (s *Supervisor) OnSweep(fn func(now time.Time)) {
+	if fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.onSweep = append(s.onSweep, fn)
+	s.mu.Unlock()
+}
+
+// ClaimedEdges appends the Break and Make edges of every reroute that
+// is currently engaged or whose watched node is down — i.e. every edge
+// the supervisor is using, or is about to use, for degradation routing
+// — and returns the extended slice. The rules engine calls this each
+// sweep to keep declarative adaptations off those edges: supervisor
+// edits always win. Pass a reused buffer to avoid allocation; entries
+// may repeat.
+func (s *Supervisor) ClaimedEdges(buf []core.Edge) []core.Edge {
+	s.mu.Lock()
+	for _, ri := range s.engaged {
+		buf = append(buf, s.reroutes[ri].Break, s.reroutes[ri].Make)
+	}
+	s.mu.Unlock()
+	for _, r := range s.reroutes {
+		if h, ok := s.mon.Health(r.Watch); ok && h.State == StateDown {
+			buf = append(buf, r.Break, r.Make)
+		}
+	}
+	return buf
+}
+
 // Start launches the sweep loop. Stop must be called to release it.
 func (s *Supervisor) Start(ctx context.Context) {
 	s.mu.Lock()
@@ -173,9 +211,12 @@ func (s *Supervisor) Stop() {
 // background goroutine.
 func (s *Supervisor) Sweep(now time.Time) []Event {
 	events := s.mon.Advance(now)
-	if len(events) > 0 {
-		s.reconcile(events)
-	}
+	// Reconcile every pass, not only on breaker transitions: an edit
+	// that failed earlier (for example because a rules-engine edit
+	// still held the edge) is retried on the next sweep even when no
+	// breaker moves. When engaged state already matches the desired
+	// state this is a cheap no-op scan.
+	s.reconcile(events)
 	if len(events) > 0 {
 		s.mu.Lock()
 		listeners := make([]func(Event), len(s.listeners))
@@ -187,6 +228,13 @@ func (s *Supervisor) Sweep(now time.Time) []Event {
 			}
 		}
 	}
+	s.mu.Lock()
+	s.sweepBuf = append(s.sweepBuf[:0], s.onSweep...)
+	hooks := s.sweepBuf
+	s.mu.Unlock()
+	for _, fn := range hooks {
+		fn(now)
+	}
 	return events
 }
 
@@ -196,7 +244,7 @@ func (s *Supervisor) Sweep(now time.Time) []Event {
 // are healthy. Each group transition — engage, disengage, or a direct
 // switch between rules — is applied as a single atomic edit. A failed
 // edit annotates the triggering event so listeners see that adaptation
-// did not land; the group is retried on the next transition.
+// did not land; the group is retried on the next sweep.
 func (s *Supervisor) reconcile(events []Event) {
 	if s.adapter == nil {
 		return

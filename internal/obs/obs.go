@@ -94,8 +94,24 @@ type Metrics struct {
 	RolloutReverted    Counter
 	RolloutFailed      Counter
 
+	// Rules-engine lifecycle (internal/rules): engagements,
+	// disengagements, flap-damping quarantines, probation rollbacks and
+	// deferred (arbitration-blocked) engagements across all sessions.
+	RulesEngaged     Counter
+	RulesDisengaged  Counter
+	RulesQuarantined Counter
+	RulesRolledBack  Counter
+	RulesDeferred    Counter
+
 	// TreeDepth is the distribution of channel data-tree depths (PCL).
 	TreeDepth Histogram
+
+	// E2ELatencyNs is the end-to-end pipeline latency distribution in
+	// nanoseconds, derived from trace spans: for each delivery at a
+	// sink, root span exit minus the earliest span enter in the
+	// sample's derivation tree. Populated only for sessions running
+	// with tracing instrumentation.
+	E2ELatencyNs Histogram
 
 	// shardLive is one live-session gauge per manager shard, sized by
 	// InitShards. The slice itself is written once before traffic.
@@ -271,8 +287,16 @@ func (m *Metrics) Snapshot() map[string]any {
 			"bytes":    m.CheckpointBytes.Value(),
 			"write_ns": m.CheckpointNs.Snapshot(),
 		},
-		"tree_depth": m.TreeDepth.Snapshot(),
-		"nodes":      nodes,
+		"rules": map[string]any{
+			"engaged":     m.RulesEngaged.Value(),
+			"disengaged":  m.RulesDisengaged.Value(),
+			"quarantined": m.RulesQuarantined.Value(),
+			"rolled_back": m.RulesRolledBack.Value(),
+			"deferred":    m.RulesDeferred.Value(),
+		},
+		"tree_depth":     m.TreeDepth.Snapshot(),
+		"e2e_latency_ns": m.E2ELatencyNs.Snapshot(),
+		"nodes":          nodes,
 	}
 }
 

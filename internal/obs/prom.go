@@ -5,8 +5,21 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 )
+
+// labelEscaper escapes a label value per the Prometheus text exposition
+// format: exactly backslash, double-quote and line feed are escaped —
+// nothing else. strconv.Quote is NOT equivalent: it also escapes tabs,
+// control bytes and non-ASCII as \xNN/\uNNNN sequences, which the
+// exposition format has no syntax for, so a scraper would read those
+// backslashes literally and the label value would no longer round-trip.
+// Node IDs come from config, so hostile values must survive verbatim.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// quoteLabel renders a label value as `"escaped"`.
+func quoteLabel(v string) string { return `"` + labelEscaper.Replace(v) + `"` }
 
 // WritePrometheus renders the hub in the Prometheus text exposition
 // format (version 0.0.4) — the push-less integration path for external
@@ -54,7 +67,7 @@ func WritePrometheus(w io.Writer, m *Metrics) {
 	if len(shardLive) > 0 {
 		fmt.Fprintf(w, "# HELP perpos_shard_sessions_live Live sessions per manager shard.\n# TYPE perpos_shard_sessions_live gauge\n")
 		for i, v := range shardLive {
-			fmt.Fprintf(w, "perpos_shard_sessions_live{shard=%q} %d\n", strconv.Itoa(i), v)
+			fmt.Fprintf(w, "perpos_shard_sessions_live{shard=%s} %d\n", quoteLabel(strconv.Itoa(i)), v)
 		}
 	}
 
@@ -63,8 +76,15 @@ func WritePrometheus(w io.Writer, m *Metrics) {
 	writeLabeledCounters(w, "perpos_provider_transitions_total", "Provider availability transitions into each state.",
 		"state", collectCounters(&m.providerTransitions))
 
+	counter("perpos_rules_engaged_total", "Rule-engine action engagements.", m.RulesEngaged.Value())
+	counter("perpos_rules_disengaged_total", "Rule-engine action reverts.", m.RulesDisengaged.Value())
+	counter("perpos_rules_quarantined_total", "Rules benched by flap damping or guard rollback.", m.RulesQuarantined.Value())
+	counter("perpos_rules_rolled_back_total", "Rule actions reverted by the probation guard.", m.RulesRolledBack.Value())
+	counter("perpos_rules_deferred_total", "Rule engagements blocked by arbitration.", m.RulesDeferred.Value())
+
 	writeHistogram(w, "perpos_checkpoint_write_ns", "Checkpoint append latency in nanoseconds.", nil, &m.CheckpointNs)
 	writeHistogram(w, "perpos_tree_depth", "Channel data-tree depth distribution.", nil, &m.TreeDepth)
+	writeHistogram(w, "perpos_e2e_latency_ns", "End-to-end pipeline latency in nanoseconds, from trace spans.", nil, &m.E2ELatencyNs)
 
 	// Per-node metrics, sorted for a stable exposition.
 	for _, id := range m.NodeIDs() {
@@ -93,7 +113,7 @@ func labelString(labels map[string]string) string {
 		if i > 0 {
 			out += ","
 		}
-		out += k + "=" + strconv.Quote(labels[k])
+		out += k + "=" + quoteLabel(labels[k])
 	}
 	return out + "}"
 }
@@ -137,7 +157,7 @@ func writeLabeledCounters(w io.Writer, name, help, label string, values map[stri
 	}
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
 	for _, k := range sortedKeysU(values) {
-		fmt.Fprintf(w, "%s{%s=%s} %d\n", name, label, strconv.Quote(k), values[k])
+		fmt.Fprintf(w, "%s{%s=%s} %d\n", name, label, quoteLabel(k), values[k])
 	}
 }
 
@@ -147,7 +167,7 @@ func writeLabeledGauges(w io.Writer, name, help, label string, values map[string
 	}
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
 	for _, k := range sortedKeysI(values) {
-		fmt.Fprintf(w, "%s{%s=%s} %d\n", name, label, strconv.Quote(k), values[k])
+		fmt.Fprintf(w, "%s{%s=%s} %d\n", name, label, quoteLabel(k), values[k])
 	}
 }
 

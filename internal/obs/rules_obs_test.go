@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"perpos/internal/channel"
+	"perpos/internal/core"
+)
+
+// Label values must be escaped per the Prometheus exposition format:
+// backslash, double quote and newline get backslash escapes — and
+// nothing else does. strconv.Quote-style \t or \xNN escapes are
+// invalid exposition and must not appear.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	m := New()
+	hostile := "node\"with\\every\nhostile\tbyte\x01é"
+	m.Node(hostile).Emissions.Add(1)
+	m.ProviderTransition("state\"q\\b\nnl")
+
+	var b strings.Builder
+	WritePrometheus(&b, m)
+	out := b.String()
+
+	// The three escapable bytes come out escaped...
+	if !strings.Contains(out, `node="node\"with\\every\nhostile`) {
+		t.Fatalf("node label not escaped correctly:\n%s", out)
+	}
+	if !strings.Contains(out, `state="state\"q\\b\nnl"`) {
+		t.Fatalf("state label not escaped correctly:\n%s", out)
+	}
+	// ...while tab, control bytes and UTF-8 pass through raw: a \t or
+	// \x escape sequence would be read back literally by a scraper.
+	if strings.Contains(out, `\t`) || strings.Contains(out, `\x01`) {
+		t.Fatalf("over-escaped label value (invalid exposition):\n%s", out)
+	}
+	if !strings.Contains(out, "hostile\tbyte\x01é") {
+		t.Fatalf("tab/control/UTF-8 bytes must pass through raw:\n%s", out)
+	}
+	// No label value may leak an unescaped newline: every exposition
+	// line must be a complete sample or comment.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("blank line in exposition (unescaped newline leaked):\n%s", out)
+		}
+	}
+}
+
+func TestRulesCountersExposed(t *testing.T) {
+	m := New()
+	m.RulesEngaged.Add(3)
+	m.RulesDisengaged.Add(2)
+	m.RulesQuarantined.Inc()
+	m.RulesRolledBack.Inc()
+	m.RulesDeferred.Add(5)
+	m.E2ELatencyNs.ObserveDuration(3 * time.Millisecond)
+
+	var b strings.Builder
+	WritePrometheus(&b, m)
+	out := b.String()
+	for _, want := range []string{
+		"perpos_rules_engaged_total 3",
+		"perpos_rules_disengaged_total 2",
+		"perpos_rules_quarantined_total 1",
+		"perpos_rules_rolled_back_total 1",
+		"perpos_rules_deferred_total 5",
+		"# TYPE perpos_e2e_latency_ns histogram",
+		"perpos_e2e_latency_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+
+	// The JSON snapshot carries the same families.
+	raw, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	rules, ok := snap["rules"].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot has no rules section: %v", snap)
+	}
+	if rules["engaged"].(float64) != 3 || rules["deferred"].(float64) != 5 {
+		t.Fatalf("rules snapshot wrong: %v", rules)
+	}
+	if _, ok := snap["e2e_latency_ns"]; !ok {
+		t.Fatalf("snapshot has no e2e_latency_ns: %v", snap)
+	}
+}
+
+// span wraps a sample with a stamped SpanRecord.
+func span(node string, enter, exit time.Time) core.Sample {
+	s := core.NewSample("k", nil, exit)
+	return s.WithAttr(TraceAttr, SpanRecord{Node: node, Enter: enter, Exit: exit})
+}
+
+func TestTreeLatency(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	// Root exit at +10ms, earliest enter at -5ms two levels down.
+	tree := &channel.DataTree{Root: &channel.TreeNode{
+		Sample: span("sink", base, base.Add(10*time.Millisecond)),
+		Children: []*channel.TreeNode{
+			{Sample: span("mid", base.Add(-2*time.Millisecond), base.Add(2*time.Millisecond)),
+				Children: []*channel.TreeNode{
+					{Sample: span("src", base.Add(-5*time.Millisecond), base)},
+				}},
+		},
+	}}
+	d, ok := TreeLatency(tree)
+	if !ok || d != 15*time.Millisecond {
+		t.Fatalf("TreeLatency = %v,%v, want 15ms", d, ok)
+	}
+
+	// Untraced root: cheap early exit.
+	if _, ok := TreeLatency(&channel.DataTree{Root: &channel.TreeNode{Sample: core.NewSample("k", nil, base)}}); ok {
+		t.Fatal("TreeLatency reported a latency for an untraced tree")
+	}
+	if _, ok := TreeLatency(nil); ok {
+		t.Fatal("TreeLatency(nil) reported ok")
+	}
+	if _, ok := TreeLatency(&channel.DataTree{}); ok {
+		t.Fatal("TreeLatency(empty) reported ok")
+	}
+
+	// Clock skew (root exit before earliest enter) is rejected rather
+	// than reported as a negative duration.
+	skew := &channel.DataTree{Root: &channel.TreeNode{
+		Sample: span("sink", base, base),
+		Children: []*channel.TreeNode{
+			{Sample: span("src", base.Add(time.Hour), base.Add(time.Hour))},
+		},
+	}}
+	if d, ok := TreeLatency(skew); ok && d < 0 {
+		t.Fatalf("negative latency %v reported", d)
+	}
+
+	// Untraced children don't disturb the computation.
+	mixed := &channel.DataTree{Root: &channel.TreeNode{
+		Sample: span("sink", base, base.Add(time.Millisecond)),
+		Children: []*channel.TreeNode{
+			{Sample: core.NewSample("k", nil, base)},
+		},
+	}}
+	if d, ok := TreeLatency(mixed); !ok || d != time.Millisecond {
+		t.Fatalf("mixed tree latency = %v,%v, want 1ms", d, ok)
+	}
+}

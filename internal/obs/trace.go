@@ -178,6 +178,38 @@ func (c *ChannelTrace) Last() (*channel.DataTree, bool) {
 	return t, t != nil
 }
 
+// TreeLatency computes the end-to-end latency of one delivery from its
+// data tree: the root span's exit minus the earliest span enter found
+// anywhere in the tree — the same total FormatTrace prints, without the
+// formatting. It returns false when the root sample carries no span
+// (graph not instrumented), making the un-traced case a cheap early
+// exit, or when clocks produced a negative total.
+func TreeLatency(t *channel.DataTree) (time.Duration, bool) {
+	if t == nil || t.Root == nil {
+		return 0, false
+	}
+	root, ok := TraceOf(t.Root.Sample)
+	if !ok {
+		return 0, false
+	}
+	earliest := treeEarliestEnter(t.Root, root.Enter)
+	if root.Exit.Before(earliest) {
+		return 0, false
+	}
+	return root.Exit.Sub(earliest), true
+}
+
+// treeEarliestEnter walks the tree for the earliest stamped span enter.
+func treeEarliestEnter(n *channel.TreeNode, earliest time.Time) time.Time {
+	for _, c := range n.Children {
+		if r, ok := TraceOf(c.Sample); ok && r.Enter.Before(earliest) {
+			earliest = r.Enter
+		}
+		earliest = treeEarliestEnter(c, earliest)
+	}
+	return earliest
+}
+
 // FormatTrace renders a data tree as an indented end-to-end trace, one
 // line per datum: component, logical time, kind, and — when the sample
 // was stamped by a TraceFeature — the wall-clock processing span. The

@@ -37,7 +37,7 @@ import (
 func BenchmarkRuntimeSessions(b *testing.B) {
 	for _, n := range []int{1, 10, 100, 1000} {
 		b.Run(fmt.Sprintf("sessions_%d", n), func(b *testing.B) {
-			benchSessions(b, n, gpsSessionConfig(b), 0)
+			benchSessions(b, n, gpsSessionConfig(b), 0, nil)
 		})
 	}
 }
@@ -55,7 +55,7 @@ func BenchmarkRuntimeSessionsSupervised(b *testing.B) {
 				MaxConsecutiveErrors: 3,
 				Deadlines:            map[string]time.Duration{"gps": time.Second},
 			}
-			benchSessions(b, n, cfg, 0)
+			benchSessions(b, n, cfg, 0, nil)
 		})
 	}
 }
@@ -81,7 +81,7 @@ func BenchmarkRuntimeSessionsCheckpointed(b *testing.B) {
 			}
 			defer store.Close()
 			cfg.Checkpoints = store
-			benchSessions(b, n, cfg, 5)
+			benchSessions(b, n, cfg, 5, nil)
 		})
 	}
 }
@@ -108,14 +108,51 @@ func BenchmarkRuntimeSessionsObserved(b *testing.B) {
 			}
 			defer store.Close()
 			cfg.Checkpoints = store
-			benchSessions(b, n, cfg, 5)
+			benchSessions(b, n, cfg, 5, nil)
+		})
+	}
+}
+
+// BenchmarkRuntimeSessionsRuled is the observed workload with the full
+// standard rule set evaluated on every supervisor sweep: the rules tap
+// runs on every emission path and the engine re-evaluates all three
+// case-study rules each sweep, but no rule ever fires (the plain GPS
+// blueprint carries no HDOP feature and the simulated target never
+// stops). The delta against BenchmarkRuntimeSessionsObserved is the
+// cost of *having* self-adaptation armed (budget: ≤2%) — the engine's
+// hot path is one lock-free probe store per attribute-bearing sample
+// plus an O(rules) sweep off the hot path.
+func BenchmarkRuntimeSessionsRuled(b *testing.B) {
+	for _, n := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("sessions_%d", n), func(b *testing.B) {
+			cfg := gpsSessionConfig(b)
+			cfg.Health = &health.Policy{
+				MaxConsecutiveErrors: 3,
+				Deadlines:            map[string]time.Duration{"gps": time.Second},
+			}
+			hub := obs.New()
+			cfg.Observability = hub
+			store, err := checkpoint.Open(b.TempDir(), checkpoint.Options{OnAppend: hub.CheckpointAppend})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			cfg.Checkpoints = store
+			cfg.Rules = catalog.StandardRules()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			// benchSessions drives Step() directly instead of Start(), so
+			// the sweep goroutine the engine piggybacks on needs an
+			// explicit start; Manager.Close stops it.
+			benchSessions(b, n, cfg, 5, func(s *Session) { s.Supervisor().Start(ctx) })
 		})
 	}
 }
 
 // benchSessions drives n paced sessions; ckptEverySteps > 0 durably
-// checkpoints each session on that step cadence.
-func benchSessions(b *testing.B, n int, cfg SessionConfig, ckptEverySteps int) {
+// checkpoints each session on that step cadence. setup, when non-nil,
+// runs once per created session before the drive loop starts.
+func benchSessions(b *testing.B, n int, cfg SessionConfig, ckptEverySteps int, setup func(*Session)) {
 	const (
 		pace   = 20 * time.Millisecond
 		window = 300 * time.Millisecond
@@ -134,6 +171,9 @@ func benchSessions(b *testing.B, n int, cfg SessionConfig, ckptEverySteps int) {
 				b.Fatal(err)
 			}
 			s.Provider().Subscribe(func(positioning.Position) { delivered.Add(1) })
+			if setup != nil {
+				setup(s)
+			}
 			sessions[i] = s
 		}
 

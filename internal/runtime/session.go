@@ -21,6 +21,7 @@ import (
 	"perpos/internal/health"
 	"perpos/internal/obs"
 	"perpos/internal/positioning"
+	"perpos/internal/rules"
 )
 
 // Errors returned by sessions and the manager.
@@ -95,6 +96,19 @@ type SessionConfig struct {
 	// counts and session lifecycle counters. Nil disables instrumentation
 	// entirely — no hooks are installed and the hot path is untouched.
 	Observability *obs.Metrics
+	// Rules enables declarative self-adaptation: each session gets a
+	// rules.Engine evaluating the rule set on the supervisor sweep and
+	// applying reversible graph edits through the session's own
+	// pause-edit-resume seam. A session with rules always runs a
+	// monitor and supervisor (with the default health.Policy when
+	// Health is nil) so the sweep exists to piggyback on.
+	Rules []rules.Rule
+	// Trace instruments every session graph with span tracing
+	// (obs.InstrumentGraph). With Observability set, each sink delivery
+	// then feeds the end-to-end latency histogram derived from the
+	// delivery's data tree. Off by default: tracing stamps an attribute
+	// per emission, which the saturated hot path doesn't want.
+	Trace bool
 }
 
 // Session is one target's live pipeline: a private graph instantiated
@@ -117,6 +131,9 @@ type Session struct {
 	monitor    *health.Monitor
 	supervisor *health.Supervisor
 	tapCancel  func()
+
+	rules          *rules.Engine
+	rulesTapCancel func()
 
 	metrics      *obs.Metrics
 	obsObserver  *obs.GraphObserver
@@ -173,21 +190,38 @@ func newSession(id string, rev int, bp *core.Blueprint, cfg SessionConfig, clock
 	if err != nil {
 		return nil, fmt.Errorf("runtime: session %q: %w", id, err)
 	}
+	if cfg.Trace {
+		if err := obs.InstrumentGraph(g); err != nil {
+			return nil, fmt.Errorf("runtime: session %q: instrument: %w", id, err)
+		}
+	}
 	var layerOpts []channel.LayerOption
 	if cfg.History > 0 {
 		layerOpts = append(layerOpts, channel.WithHistory(cfg.History))
 	}
 	if m := cfg.Observability; m != nil {
+		traced := cfg.Trace
 		layerOpts = append(layerOpts, channel.WithTreeObserver(func(_ *channel.Channel, t *channel.DataTree) {
 			m.ObserveTreeDepth(t.Depth())
+			if traced {
+				if d, ok := obs.TreeLatency(t); ok {
+					m.E2ELatencyNs.ObserveDuration(d)
+				}
+			}
 		}))
 	}
 	s.graph = g
 	s.layer = channel.NewLayer(g, layerOpts...)
 	s.lastUsed = clock()
 
-	if cfg.Health != nil {
-		s.monitor = health.NewMonitor(*cfg.Health)
+	// Rules need a supervisor sweep to piggyback on, so a rule-bearing
+	// session gets the default supervision policy even without Health.
+	if cfg.Health != nil || len(cfg.Rules) > 0 {
+		pol := health.Policy{}
+		if cfg.Health != nil {
+			pol = *cfg.Health
+		}
+		s.monitor = health.NewMonitor(pol)
 		s.supervisor = health.NewSupervisor(s.monitor, health.AdapterFunc(s.applyEdit), cfg.Reroutes)
 		s.tapCancel = g.Tap(s.monitor.Tap)
 		// Supervisor events drive the provider's JSR-179 state: any open
@@ -220,6 +254,44 @@ func newSession(id string, rev int, bp *core.Blueprint, cfg SessionConfig, clock
 					m.SupervisorEngaged.Inc()
 				} else {
 					m.SupervisorDisengaged.Inc()
+				}
+			})
+		}
+	}
+	if len(cfg.Rules) > 0 {
+		eng, err := rules.New(rules.Config{
+			Rules:   cfg.Rules,
+			Adapter: health.AdapterFunc(s.applyEdit),
+			Monitor: s.monitor,
+			Claimer: s.supervisor,
+			Availability: func() float64 {
+				return float64(s.provider.Availability())
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("runtime: session %q: %w", id, err)
+		}
+		s.rules = eng
+		if eng.NeedsTap() {
+			s.rulesTapCancel = g.Tap(eng.Tap)
+		}
+		// Evaluation rides the supervisor sweep, after the supervisor
+		// has reconciled its own reroutes — rules see the claims of the
+		// same instant and always yield to them.
+		s.supervisor.OnSweep(eng.Sweep)
+		if m := cfg.Observability; m != nil {
+			eng.OnEvent(func(ev rules.Event) {
+				switch ev.Type {
+				case rules.EventEngaged:
+					m.RulesEngaged.Inc()
+				case rules.EventDisengaged:
+					m.RulesDisengaged.Inc()
+				case rules.EventQuarantined:
+					m.RulesQuarantined.Inc()
+				case rules.EventRolledBack:
+					m.RulesRolledBack.Inc()
+				case rules.EventDeferred:
+					m.RulesDeferred.Inc()
 				}
 			})
 		}
@@ -283,6 +355,10 @@ func (s *Session) Monitor() *health.Monitor { return s.monitor }
 // Supervisor returns the session's supervisor (nil when supervision is
 // disabled).
 func (s *Session) Supervisor() *health.Supervisor { return s.supervisor }
+
+// Rules returns the session's self-adaptation engine (nil when no
+// rules are configured).
+func (s *Session) Rules() *rules.Engine { return s.rules }
 
 // pauseAndRun is the shared pause→edit→resume seam: the graph is
 // frozen while the async runner is active, so the runner (if any) is
@@ -533,6 +609,9 @@ func (s *Session) close() {
 	}
 	if s.tapCancel != nil {
 		s.tapCancel()
+	}
+	if s.rulesTapCancel != nil {
+		s.rulesTapCancel()
 	}
 	if s.obsTapCancel != nil {
 		s.obsTapCancel()
