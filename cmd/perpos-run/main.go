@@ -29,6 +29,11 @@
 //	perpos-run -rollout-fail        # same roll with a broken WiFi branch:
 //	                                # the canary gate trips and the fleet
 //	                                # is rolled back to the old revision
+//	perpos-run -cluster 3          # fault-tolerant session tier: 3 nodes,
+//	                                # 60 targets, a hard node kill with
+//	                                # checkpointed failover, then a node
+//	                                # join with minimal-range rebalancing
+//	perpos-run -cluster 3 -node n2 # same demo, killing node n2
 //	perpos-run -rules examples/configs/rules-fusion.json
 //	                                # self-adaptation demo: declarative
 //	                                # rules engage live graph edits as the
@@ -58,11 +63,13 @@ import (
 	"perpos/internal/catalog"
 	"perpos/internal/chaos"
 	"perpos/internal/checkpoint"
+	"perpos/internal/cluster"
 	"perpos/internal/config"
 	"perpos/internal/core"
 	"perpos/internal/energy"
 	"perpos/internal/eval"
 	"perpos/internal/filter"
+	"perpos/internal/geo"
 	"perpos/internal/gps"
 	"perpos/internal/health"
 	"perpos/internal/obs"
@@ -93,6 +100,8 @@ func run(args []string) error {
 	chaosScript := fs.String("chaos-script", "", "pipeline JSON whose chaos block drives the -chaos fault script (default: built-in kill/heal)")
 	rulesPath := fs.String("rules", "", "pipeline JSON whose rules block drives the self-adaptation demo (engage → arbitrate → disengage transcript)")
 	checkpointDir := fs.String("checkpoint-dir", "", "directory for durable session checkpoints; with -chaos the session is evicted and resumed from it")
+	clusterN := fs.Int("cluster", 0, "run the distributed session tier demo with N nodes: kill one node (checkpointed failover), then join a fresh one (minimal-range rebalance)")
+	nodeID := fs.String("node", "", "with -cluster: the node ID to kill mid-demo (default: the node carrying the most sessions)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics (JSON) and /debug/pprof on this address while running (\":0\" picks a free port); with -targets or -chaos the session runtime reports into it")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,6 +123,9 @@ func run(args []string) error {
 		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr())
 	}
 
+	if *clusterN > 0 {
+		return runCluster(*clusterN, *nodeID, *targets, *configPath, *seed, hub)
+	}
 	if *configPath != "" {
 		return runConfigured(*configPath, *seed, *maxLines)
 	}
@@ -962,4 +974,239 @@ func runRoomNumber(seed int64, maxLines int) error {
 	}
 	_, err := g.Run(0)
 	return err
+}
+
+// runCluster is the fault-tolerance demo: an n-node session tier
+// behind a consistent-hash router, tracking a fleet of targets through
+// GPS→Kalman sessions. Mid-run one node is hard-killed — the router's
+// breaker trips, the node is declared dead, and every one of its
+// sessions is resurrected on a survivor from its last durable
+// checkpoint. Then a fresh node joins and the minimal hash range is
+// rebalanced onto it via live handoffs. A pipeline definition's
+// cluster block (via -config) overrides the demo's probing and handoff
+// policy.
+func runCluster(n int, victim string, targets int, configPath string, seed int64, hub *obs.Metrics) error {
+	if n < 2 {
+		return fmt.Errorf("-cluster needs at least 2 nodes, got %d", n)
+	}
+	if targets <= 0 {
+		targets = 60
+	}
+	if hub == nil {
+		hub = obs.New()
+	}
+
+	// Demo-paced policy: quick probes so the kill → quarantine → death
+	// → failover arc fits in a couple of seconds of transcript.
+	pol := cluster.Policy{
+		ProbeInterval:        50 * time.Millisecond,
+		MaxConsecutiveErrors: 2,
+		DeathAfter:           400 * time.Millisecond,
+		Retries:              -1,
+	}
+	ckptEvery := 4
+	if configPath != "" {
+		f, err := os.Open(configPath)
+		if err != nil {
+			return err
+		}
+		p, err := config.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if p.Cluster != nil {
+			pol = p.Cluster.Policy()
+			if p.Cluster.Nodes > 0 {
+				n = p.Cluster.Nodes
+			}
+			if p.Cluster.CheckpointEvery != 0 {
+				ckptEvery = p.Cluster.CheckpointEvery
+			}
+		}
+	}
+
+	origin := geo.Point{Lat: 56.1629, Lon: 10.2039}
+	bp, err := catalog.KalmanBlueprint(geo.NewProjection(origin), 0.5)
+	if err != nil {
+		return err
+	}
+	session := runtime.SessionConfig{
+		Blueprint:     bp,
+		Provider:      positioning.ProviderInfo{Technology: "gps", TypicalAccuracy: 5},
+		History:       16,
+		Observability: hub,
+		Overrides: func(sessionID string) []core.InstantiateOption {
+			var i int64
+			fmt.Sscanf(sessionID, "tag-%d", &i)
+			tr := trace.OutdoorTrack(origin, seed+i, 2, 100, 1.4, time.Second)
+			return []core.InstantiateOption{
+				core.WithComponentOverride("gps", func(cid string) core.Component {
+					return gps.NewReceiver(cid, tr, gps.Config{Seed: seed + i + 100, ColdStart: time.Second, Loop: true})
+				}),
+			}
+		},
+	}
+
+	startNode := func(id string) (*cluster.Node, error) {
+		dir, err := os.MkdirTemp("", "perpos-cluster-"+id+"-")
+		if err != nil {
+			return nil, err
+		}
+		node, err := cluster.StartNode(cluster.NodeConfig{
+			ID:              id,
+			Dir:             dir,
+			Session:         session,
+			CheckpointEvery: ckptEvery,
+		})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		return node, nil
+	}
+
+	router := cluster.NewRouter(cluster.RouterConfig{
+		Policy:  pol,
+		Metrics: hub,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	defer router.Close()
+
+	nodes := make(map[string]*cluster.Node)
+	defer func() {
+		for _, node := range nodes {
+			if !node.Down() {
+				node.StopPump()
+				node.Close()
+			}
+			os.RemoveAll(node.Dir())
+		}
+	}()
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("n%d", i)
+		node, err := startNode(id)
+		if err != nil {
+			return err
+		}
+		nodes[id] = node
+		if err := router.Join(node.Info()); err != nil {
+			return err
+		}
+	}
+	router.Start()
+
+	for i := 0; i < targets; i++ {
+		if err := router.Track(fmt.Sprintf("tag-%02d", i)); err != nil {
+			return err
+		}
+	}
+	for _, node := range nodes {
+		node.StartPump(20 * time.Millisecond)
+	}
+	fmt.Printf("tracking %d targets across %d nodes\n", targets, n)
+	time.Sleep(600 * time.Millisecond) // let filters warm and checkpoints land
+	printMembers(router)
+
+	// Pick the victim: the flag, or the busiest node.
+	if victim == "" {
+		for _, m := range router.Members() {
+			if victim == "" || m.Sessions > sessionsOf(router, victim) {
+				victim = m.ID
+			}
+		}
+	}
+	node, ok := nodes[victim]
+	if !ok {
+		return fmt.Errorf("-node %q: no such node", victim)
+	}
+	fmt.Printf("\n=== hard-killing %s (%d sessions) ===\n", victim, node.Sessions())
+	node.Kill(nil)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if clusterSettledOff(router, victim) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !clusterSettledOff(router, victim) {
+		return fmt.Errorf("failover did not settle: %d in flight", router.InFlight())
+	}
+	fmt.Println("failover complete: every session resumed on a survivor")
+	printMembers(router)
+
+	joiner := fmt.Sprintf("n%d", n+1)
+	fmt.Printf("\n=== joining fresh node %s ===\n", joiner)
+	jn, err := startNode(joiner)
+	if err != nil {
+		return err
+	}
+	nodes[joiner] = jn
+	if err := router.Join(jn.Info()); err != nil {
+		return err
+	}
+	jn.StartPump(20 * time.Millisecond)
+	time.Sleep(300 * time.Millisecond)
+	printMembers(router)
+
+	fmt.Println()
+	shown := 0
+	for _, target := range router.Targets() {
+		if shown >= 5 {
+			break
+		}
+		res, err := router.Position(target)
+		if err != nil || !res.HasFix {
+			continue
+		}
+		shown++
+		fmt.Printf("%s @ %s: %v\n", target, res.Node, res.Pos)
+	}
+	fmt.Printf("\ncounters: handoffs=%d failed=%d failovers=%d resurrected=%d rebalanced=%d stale_served=%d\n",
+		hub.ClusterHandoffs.Value(), hub.ClusterHandoffFailed.Value(),
+		hub.ClusterFailovers.Value(), hub.ClusterResurrected.Value(),
+		hub.ClusterRebalanced.Value(), hub.ClusterStaleServed.Value())
+	return nil
+}
+
+// printMembers renders the router's membership table.
+func printMembers(router *cluster.Router) {
+	fmt.Println("members:")
+	for _, m := range router.Members() {
+		state := "up"
+		if m.Dead {
+			state = "dead"
+		} else if m.Down {
+			state = "down"
+		}
+		fmt.Printf("  %-4s %-21s %-4s %3d sessions\n", m.ID, m.Addr, state, m.Sessions)
+	}
+}
+
+// sessionsOf returns the router's session count for one node.
+func sessionsOf(router *cluster.Router, id string) int {
+	for _, m := range router.Members() {
+		if m.ID == id {
+			return m.Sessions
+		}
+	}
+	return -1
+}
+
+// clusterSettledOff reports whether no route points at the given node
+// and no handoff is in flight.
+func clusterSettledOff(router *cluster.Router, dead string) bool {
+	if router.InFlight() != 0 {
+		return false
+	}
+	for _, target := range router.Targets() {
+		node, inFlight, ok := router.NodeOf(target)
+		if !ok || inFlight || node == dead {
+			return false
+		}
+	}
+	return true
 }

@@ -124,6 +124,21 @@ func TestBinariesSmoke(t *testing.T) {
 		}
 	})
 
+	t.Run("perpos-run-cluster", func(t *testing.T) {
+		out := runBin(t, bins["perpos-run"], "-cluster", "2", "-targets", "12", "-seed", "3")
+		for _, want := range []string{
+			"tracking 12 targets across 2 nodes",
+			"declared dead",
+			"failover complete: every session resumed on a survivor",
+			"rebalance to n3 done",
+			"counters: handoffs=",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("cluster demo output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
 	t.Run("perpos-run-chaos", func(t *testing.T) {
 		out := runBin(t, bins["perpos-run"], "-chaos", "-seed", "7")
 		for _, want := range []string{

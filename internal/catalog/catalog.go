@@ -17,6 +17,7 @@ import (
 	"perpos/internal/core"
 	"perpos/internal/energy"
 	"perpos/internal/filter"
+	"perpos/internal/geo"
 	"perpos/internal/gps"
 	"perpos/internal/health"
 	"perpos/internal/registry"
@@ -136,6 +137,38 @@ func GPSBlueprint() (*core.Blueprint, error) {
 		{"gps", nil},
 		{"parser", func(id string) core.Component { return gps.NewParser(id) }},
 		{"interpreter", func(id string) core.Component { return gps.NewInterpreter(id, 0) }},
+		{"app", nil},
+	}
+	for _, s := range steps {
+		if err := bp.AddComponent(s.id, s.factory); err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+	}
+	for i := 1; i < len(steps); i++ {
+		if err := bp.Connect(steps[i-1].id, steps[i].id, 0); err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+	}
+	return bp, nil
+}
+
+// KalmanBlueprint returns the GPS tracking pipeline with a Kalman
+// smoother before the sink: gps → parser → interpreter → kalman → app.
+// It is the cluster tier's reference workload: the filter's state is
+// small, serializable and bit-exactly comparable, so a handed-off or
+// failed-over session can prove its estimate survived the move intact.
+// proj (optional) projects global-only fixes into a local metric frame;
+// processNoise <= 0 uses the pedestrian default.
+func KalmanBlueprint(proj *geo.Projection, processNoise float64) (*core.Blueprint, error) {
+	bp := core.NewBlueprint()
+	steps := []struct {
+		id      string
+		factory core.ComponentFactory
+	}{
+		{"gps", nil},
+		{"parser", func(id string) core.Component { return gps.NewParser(id) }},
+		{"interpreter", func(id string) core.Component { return gps.NewInterpreter(id, 0) }},
+		{"kalman", func(id string) core.Component { return filter.NewKalmanFilter(id, processNoise, proj) }},
 		{"app", nil},
 	}
 	for _, s := range steps {

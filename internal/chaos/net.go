@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrPartitioned is the error conns wrapped by a partitioned Link
+// return from Read/Write/dial.
+var ErrPartitioned = errors.New("chaos: link partitioned")
+
+// Link injects network-level faults — partitions and slow peers — into
+// TCP connections, the transport analogue of Component/Source faults.
+// Wrap every conn toward a peer with Wrap (and gate dials with Dial);
+// then Kill partitions the link (existing conns start failing, new
+// dials are refused) and Heal restores it. SetDelay simulates a slow
+// peer by sleeping before every write.
+//
+// Link implements Controllable, so a Schedule can script partitions
+// exactly like component kills.
+type Link struct {
+	mu          sync.Mutex
+	partitioned bool
+	delay       time.Duration
+	conns       map[net.Conn]struct{}
+}
+
+var _ Controllable = (*Link)(nil)
+
+// NewLink returns a healthy link.
+func NewLink() *Link {
+	return &Link{conns: make(map[net.Conn]struct{})}
+}
+
+// Kill partitions the link. The error argument is accepted for
+// Controllable compatibility; conns always fail with ErrPartitioned.
+// Existing wrapped conns are closed so blocked reads unblock
+// immediately, as they would on a real partition with RSTs, and
+// readers observe the failure without waiting for a timeout.
+func (l *Link) Kill(error) {
+	l.mu.Lock()
+	l.partitioned = true
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+// Heal restores the link; already-failed conns stay dead (the caller
+// redials), matching real partition recovery.
+func (l *Link) Heal() {
+	l.mu.Lock()
+	l.partitioned = false
+	l.mu.Unlock()
+}
+
+// Down reports whether the link is partitioned.
+func (l *Link) Down() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.partitioned
+}
+
+// SetDelay sets a per-write sleep simulating a slow peer (0 clears).
+func (l *Link) SetDelay(d time.Duration) {
+	l.mu.Lock()
+	l.delay = d
+	l.mu.Unlock()
+}
+
+// Dial wraps a dial function with the partition gate: while
+// partitioned it fails fast with ErrPartitioned, otherwise it dials
+// and wraps the resulting conn.
+func (l *Link) Dial(dial func() (net.Conn, error)) (net.Conn, error) {
+	if l.Down() {
+		return nil, ErrPartitioned
+	}
+	c, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	return l.Wrap(c), nil
+}
+
+// Wrap returns a conn whose Read/Write observe the link's faults.
+func (l *Link) Wrap(c net.Conn) net.Conn {
+	fc := &faultConn{Conn: c, link: l}
+	l.mu.Lock()
+	l.conns[c] = struct{}{}
+	l.mu.Unlock()
+	return fc
+}
+
+func (l *Link) forget(c net.Conn) {
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
+// state returns (partitioned, delay) atomically.
+func (l *Link) state() (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.partitioned, l.delay
+}
+
+// faultConn is a net.Conn filtered through a Link.
+type faultConn struct {
+	net.Conn
+	link *Link
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if down, _ := c.link.state(); down {
+		return 0, ErrPartitioned
+	}
+	n, err := c.Conn.Read(p)
+	if down, _ := c.link.state(); down {
+		return n, ErrPartitioned
+	}
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	down, delay := c.link.state()
+	if down {
+		return 0, ErrPartitioned
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if down, _ := c.link.state(); down {
+		return 0, ErrPartitioned
+	}
+	n, err := c.Conn.Write(p)
+	if down, _ := c.link.state(); down {
+		return n, ErrPartitioned
+	}
+	return n, err
+}
+
+func (c *faultConn) Close() error {
+	c.link.forget(c.Conn)
+	return c.Conn.Close()
+}

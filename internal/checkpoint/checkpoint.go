@@ -233,6 +233,31 @@ func (s *Store) Sessions() ([]string, error) {
 	return out, nil
 }
 
+// Detach closes the session's journal file handle and forgets it
+// WITHOUT deleting the files — the handoff-safe release. The source
+// side of a session handoff calls it after exporting state: the files
+// stay on disk as a resurrection backstop until the receiver
+// acknowledges, and the closed handle means a later Remove (the purge
+// on acknowledgment) or an adopting peer's re-open races against
+// nothing. A subsequent Append/Load on the same ID lazily re-opens the
+// files. Detaching an unknown session is a no-op.
+func (s *Store) Detach(sessionID string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	j, ok := s.sessions[sessionID]
+	if ok {
+		delete(s.sessions, sessionID)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	return j.close()
+}
+
 // Remove deletes the session's checkpoint files — called when a target
 // is deliberately untracked and its state should not be resumable.
 func (s *Store) Remove(sessionID string) error {

@@ -1,0 +1,179 @@
+//go:build unix
+
+package checkpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"perpos/internal/core"
+)
+
+func contentionState(id string, clock int) SessionState {
+	return SessionState{
+		SessionID: id,
+		Taken:     time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		Graph:     oneNodeGraph(id, clock),
+	}
+}
+
+// oneNodeGraph builds a one-node graph state whose logical clock
+// distinguishes records.
+func oneNodeGraph(id string, clock int) core.GraphState {
+	return core.GraphState{Nodes: []core.NodeState{{ID: id, Clock: core.LogicalTime(clock)}}}
+}
+
+// TestOpenRace: many goroutines race Open on one directory; exactly one
+// wins, everyone else gets ErrLocked — the cross-process writer
+// exclusion that makes store-directory adoption safe.
+func TestOpenRace(t *testing.T) {
+	dir := t.TempDir()
+	const racers = 8
+	var wg sync.WaitGroup
+	stores := make([]*Store, racers)
+	errs := make([]error, racers)
+	start := make(chan struct{})
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			stores[i], errs[i] = Open(dir, Options{})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	winners := 0
+	for i := 0; i < racers; i++ {
+		switch {
+		case errs[i] == nil:
+			winners++
+			defer stores[i].Close()
+		case errors.Is(errs[i], ErrLocked):
+		default:
+			t.Errorf("racer %d: unexpected error %v", i, errs[i])
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("winners = %d, want exactly 1", winners)
+	}
+}
+
+// TestCloseHandsOffToPeer is the handoff sequence at the store level:
+// the source closes, the peer opens the same directory immediately (no
+// grace period, the flock release is synchronous) and reads the
+// source's newest record.
+func TestCloseHandsOffToPeer(t *testing.T) {
+	dir := t.TempDir()
+	src, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Append(contentionState("t-1", 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Append(contentionState("t-1", 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	peer, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("peer Open immediately after Close = %v, want nil", err)
+	}
+	defer peer.Close()
+	state, err := peer.Load("t-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Graph.Nodes) != 1 || state.Graph.Nodes[0].Clock != 9 {
+		t.Errorf("peer loaded %+v, want the newest record (clock 9)", state.Graph)
+	}
+}
+
+// TestRemoveByAdopterAfterDeath: a dying node held the session's
+// journal handle open; after its store closes (process death), an
+// adopting peer can Load and then Remove the session's files — nothing
+// the dead writer did wedges the directory or the files.
+func TestRemoveByAdopterAfterDeath(t *testing.T) {
+	dir := t.TempDir()
+	dying, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The append leaves the journal file handle open inside the store —
+	// the state a crash interrupts.
+	if _, err := dying.Append(contentionState("victim", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dying.Close(); err != nil { // death: handles and flock released
+		t.Fatal(err)
+	}
+
+	adopter, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adopter.Close()
+	if _, err := adopter.Load("victim"); err != nil {
+		t.Fatal(err)
+	}
+	if err := adopter.Remove("victim"); err != nil {
+		t.Fatalf("Remove after adoption = %v, want nil", err)
+	}
+	if _, err := adopter.Load("victim"); !errors.Is(err, ErrNoState) {
+		t.Errorf("Load after Remove = %v, want ErrNoState", err)
+	}
+	// The dead store stays dead.
+	if _, err := dying.Append(contentionState("victim", 4)); !errors.Is(err, ErrClosed) {
+		t.Errorf("append on dead store = %v, want ErrClosed", err)
+	}
+}
+
+// TestDetachKeepsFilesAndLock: Detach releases the journal HANDLE (the
+// export side of a handoff) but neither the files nor the directory
+// lock — the files remain the rollback backstop, and no second writer
+// can sneak in before the purge acknowledgment.
+func TestDetachKeepsFilesAndLock(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Append(contentionState("t-2", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Detach("t-2"); err != nil {
+		t.Fatal(err)
+	}
+	// Detaching an unknown session is a no-op.
+	if err := st.Detach("never-seen"); err != nil {
+		t.Fatal(err)
+	}
+	// The directory lock is still held: Detach is per-session, not Close.
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("Open during Detach = %v, want ErrLocked", err)
+	}
+	// The files survive: a revive (failed-import rollback) reloads them
+	// through a lazily re-opened handle.
+	state, err := st.Load("t-2")
+	if err != nil {
+		t.Fatalf("Load after Detach = %v, want nil", err)
+	}
+	if len(state.Graph.Nodes) != 1 || state.Graph.Nodes[0].Clock != 7 {
+		t.Errorf("reloaded %+v, want clock 7", state.Graph)
+	}
+	// And the purge path still works after a detach.
+	if err := st.Remove("t-2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("t-2"); !errors.Is(err, ErrNoState) {
+		t.Errorf("Load after purge = %v, want ErrNoState", err)
+	}
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring with virtual nodes. Each member
+// contributes Replicas points; a key is owned by the first point
+// clockwise from its hash. The property the rebalancer leans on: adding
+// a member moves keys only TO the new member, and removing one moves
+// only ITS keys — the minimal ranges, nothing else shuffles.
+//
+// Not safe for concurrent use; the Router guards it with its own lock.
+type ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+	members  map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+func newRing(replicas int) *ring {
+	return &ring{replicas: replicas, members: make(map[string]bool)}
+}
+
+// add inserts a member's virtual nodes. Idempotent.
+func (r *ring) add(node string) {
+	if r.members[node] {
+		return
+	}
+	r.members[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", node, i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// remove deletes a member's virtual nodes. Idempotent.
+func (r *ring) remove(node string) {
+	if !r.members[node] {
+		return
+	}
+	delete(r.members, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// owner returns the member owning a key, or false on an empty ring.
+func (r *ring) owner(key string) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: first point clockwise
+	}
+	return r.points[i].node, true
+}
+
+// hash64 is FNV-1a with a murmur-style avalanche finalizer, inlined to
+// keep ring lookups allocation-free. The finalizer matters: raw FNV-1a
+// barely diffuses trailing-character differences, so sequential IDs
+// ("tag-001", "tag-002", …) cluster into a handful of ring gaps and
+// land on one member.
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("target-%03d", i)
+	}
+	return keys
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	r := newRing(64)
+	if _, ok := r.owner("k"); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	r.add("a")
+	r.add("b")
+	r.add("c")
+	for _, k := range ringKeys(50) {
+		o1, ok1 := r.owner(k)
+		o2, ok2 := r.owner(k)
+		if !ok1 || !ok2 || o1 != o2 {
+			t.Fatalf("owner(%s) unstable: %s/%v vs %s/%v", k, o1, ok1, o2, ok2)
+		}
+		if o1 != "a" && o1 != "b" && o1 != "c" {
+			t.Fatalf("owner(%s) = %q, not a member", k, o1)
+		}
+	}
+	// add is idempotent.
+	points := len(r.points)
+	r.add("a")
+	if len(r.points) != points {
+		t.Fatalf("re-adding a member grew the ring: %d -> %d", points, len(r.points))
+	}
+}
+
+// TestRingMinimalMovement is the property the rebalancer relies on:
+// adding a member moves keys only TO it, and removing it restores the
+// previous assignment exactly — no unrelated key ever changes hands.
+func TestRingMinimalMovement(t *testing.T) {
+	r := newRing(64)
+	for _, m := range []string{"a", "b", "c"} {
+		r.add(m)
+	}
+	keys := ringKeys(300)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.owner(k)
+	}
+
+	r.add("d")
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.owner(k)
+		if after != before[k] {
+			if after != "d" {
+				t.Fatalf("key %s moved %s→%s — only moves TO the new member are allowed", k, before[k], after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new member")
+	}
+	if moved == len(keys) {
+		t.Fatal("every key moved — not a consistent hash")
+	}
+
+	r.remove("d")
+	for _, k := range keys {
+		if after, _ := r.owner(k); after != before[k] {
+			t.Fatalf("key %s not restored after remove: %s, want %s", k, after, before[k])
+		}
+	}
+}
+
+// TestRingDistribution: with 64 virtual replicas the spread over four
+// members is rough but no member may be starved or hoard the ring.
+func TestRingDistribution(t *testing.T) {
+	r := newRing(64)
+	members := []string{"a", "b", "c", "d"}
+	for _, m := range members {
+		r.add(m)
+	}
+	counts := make(map[string]int)
+	keys := ringKeys(1000)
+	for _, k := range keys {
+		o, ok := r.owner(k)
+		if !ok {
+			t.Fatal("no owner")
+		}
+		counts[o]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / float64(len(keys))
+		if share < 0.08 || share > 0.50 {
+			t.Errorf("member %s owns %.0f%% of keys (counts %v)", m, share*100, counts)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package config
+
+import (
+	"time"
+
+	"perpos/internal/cluster"
+)
+
+// ClusterDef is the JSON schema for the distributed session tier: how
+// many nodes perpos-run starts, how the consistent-hash ring is shaped,
+// and the failure-detection and handoff pacing the router uses.
+type ClusterDef struct {
+	// Nodes is the number of session-tier nodes to start (perpos-run's
+	// -cluster flag overrides it).
+	Nodes int `json:"nodes,omitempty"`
+	// Replicas is the virtual-node count per member on the hash ring
+	// (0 = router default, 64).
+	Replicas int `json:"replicas,omitempty"`
+	// ProbeIntervalMS is the health-sweep period (0 = default 250ms).
+	ProbeIntervalMS int `json:"probe_interval_ms,omitempty"`
+	// MaxConsecutiveErrors trips a node's breaker (0 = default 3).
+	MaxConsecutiveErrors int `json:"max_consecutive_errors,omitempty"`
+	// DeathAfterMS is how long a node stays quarantined before it is
+	// declared dead and failed over (0 = default 8× probe interval).
+	DeathAfterMS int `json:"death_after_ms,omitempty"`
+	// HandoffConcurrency bounds parallel handoffs during a rebalance
+	// (0 = default 4).
+	HandoffConcurrency int `json:"handoff_concurrency,omitempty"`
+	// DialTimeoutMS bounds one RPC dial (0 = default 1s).
+	DialTimeoutMS int `json:"dial_timeout_ms,omitempty"`
+	// CallTimeoutMS bounds one RPC round trip (0 = default 2s).
+	CallTimeoutMS int `json:"call_timeout_ms,omitempty"`
+	// Retries is the transport retry budget per RPC (-1 disables,
+	// 0 = default 2).
+	Retries int `json:"retries,omitempty"`
+	// RetryBackoffMS is the initial retry backoff, doubled per attempt
+	// (0 = default 20ms).
+	RetryBackoffMS int `json:"retry_backoff_ms,omitempty"`
+	// CheckpointEvery checkpoints each session every this many pump
+	// rounds on every node (0 = node default 8, <0 disables).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// Policy reifies the definition into the router's policy; zero fields
+// fall through to the router defaults.
+func (d ClusterDef) Policy() cluster.Policy {
+	return cluster.Policy{
+		Replicas:             d.Replicas,
+		ProbeInterval:        time.Duration(d.ProbeIntervalMS) * time.Millisecond,
+		MaxConsecutiveErrors: d.MaxConsecutiveErrors,
+		DeathAfter:           time.Duration(d.DeathAfterMS) * time.Millisecond,
+		HandoffConcurrency:   d.HandoffConcurrency,
+		DialTimeout:          time.Duration(d.DialTimeoutMS) * time.Millisecond,
+		CallTimeout:          time.Duration(d.CallTimeoutMS) * time.Millisecond,
+		Retries:              d.Retries,
+		RetryBackoff:         time.Duration(d.RetryBackoffMS) * time.Millisecond,
+	}
+}

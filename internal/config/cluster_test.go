@@ -1,0 +1,99 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const clusteredPipeline = `{
+  "name": "fleet",
+  "components": [
+    {"id": "gps"},
+    {"id": "app"}
+  ],
+  "connections": [
+    {"from": "gps", "to": "app", "port": 0}
+  ],
+  "cluster": {
+    "nodes": 3,
+    "replicas": 128,
+    "probe_interval_ms": 50,
+    "max_consecutive_errors": 2,
+    "death_after_ms": 400,
+    "handoff_concurrency": 8,
+    "dial_timeout_ms": 500,
+    "call_timeout_ms": 1500,
+    "retries": -1,
+    "retry_backoff_ms": 10,
+    "checkpoint_every": 16
+  }
+}`
+
+func TestParseCluster(t *testing.T) {
+	p, err := Parse(strings.NewReader(clusteredPipeline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cluster == nil {
+		t.Fatal("cluster block dropped")
+	}
+	if p.Cluster.Nodes != 3 {
+		t.Errorf("Nodes = %d, want 3", p.Cluster.Nodes)
+	}
+	if p.Cluster.CheckpointEvery != 16 {
+		t.Errorf("CheckpointEvery = %d, want 16", p.Cluster.CheckpointEvery)
+	}
+
+	pol := p.Cluster.Policy()
+	if pol.Replicas != 128 {
+		t.Errorf("Replicas = %d, want 128", pol.Replicas)
+	}
+	if pol.ProbeInterval != 50*time.Millisecond {
+		t.Errorf("ProbeInterval = %v, want 50ms", pol.ProbeInterval)
+	}
+	if pol.MaxConsecutiveErrors != 2 {
+		t.Errorf("MaxConsecutiveErrors = %d, want 2", pol.MaxConsecutiveErrors)
+	}
+	if pol.DeathAfter != 400*time.Millisecond {
+		t.Errorf("DeathAfter = %v, want 400ms", pol.DeathAfter)
+	}
+	if pol.HandoffConcurrency != 8 {
+		t.Errorf("HandoffConcurrency = %d, want 8", pol.HandoffConcurrency)
+	}
+	if pol.DialTimeout != 500*time.Millisecond {
+		t.Errorf("DialTimeout = %v, want 500ms", pol.DialTimeout)
+	}
+	if pol.CallTimeout != 1500*time.Millisecond {
+		t.Errorf("CallTimeout = %v, want 1.5s", pol.CallTimeout)
+	}
+	if pol.Retries != -1 {
+		t.Errorf("Retries = %d, want -1", pol.Retries)
+	}
+	if pol.RetryBackoff != 10*time.Millisecond {
+		t.Errorf("RetryBackoff = %v, want 10ms", pol.RetryBackoff)
+	}
+}
+
+// TestParseClusterEmpty: an absent cluster block stays nil, and an
+// empty one converts to the all-defaults policy signal (zero values).
+func TestParseClusterEmpty(t *testing.T) {
+	p, err := Parse(strings.NewReader(`{"name":"solo","components":[{"id":"a"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cluster != nil {
+		t.Fatalf("Cluster = %+v, want nil", p.Cluster)
+	}
+	p, err = Parse(strings.NewReader(`{"name":"fleet","components":[{"id":"a"}],"cluster":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cluster == nil {
+		t.Fatal("empty cluster block dropped")
+	}
+	pol := p.Cluster.Policy()
+	if pol.Replicas != 0 || pol.ProbeInterval != 0 || pol.Retries != 0 {
+		t.Errorf("empty def policy = %+v, want zero values (router defaults)", pol)
+	}
+}

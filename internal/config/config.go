@@ -74,6 +74,10 @@ type Pipeline struct {
 	// signals driving reversible graph edits through the supervisor
 	// sweep. Consumed by the session runtime; nil means no rules.
 	Rules *RulesDef `json:"rules,omitempty"`
+	// Cluster declares the distributed session tier: node count, hash
+	// ring shape, failure detection and handoff pacing. Consumed by
+	// perpos-run's cluster mode; nil means single-process.
+	Cluster *ClusterDef `json:"cluster,omitempty"`
 	// Rollout declares default rolling-upgrade parameters for the
 	// pipeline's fleet: canary sizing, soak window, and the metric gate
 	// that decides ramp versus rollback. Consumed by the session

@@ -103,6 +103,29 @@ type Metrics struct {
 	RulesRolledBack  Counter
 	RulesDeferred    Counter
 
+	// Remote link traffic (internal/remote): samples shipped over an
+	// Uplink and samples shed because the peer was unreachable past the
+	// immediate-retry + backoff gate. Without these an unreachable peer
+	// drops positioning data silently.
+	RemoteSent    Counter
+	RemoteDropped Counter
+
+	// Cluster distribution (internal/cluster): completed and failed
+	// session handoffs, node-death failovers, sessions resurrected on
+	// survivors, sessions moved by join/leave rebalancing, and position
+	// queries served from the router's last-known cache while the
+	// owning node was unreachable or mid-handoff (the degradation
+	// contract: stale beats erroring).
+	ClusterHandoffs      Counter
+	ClusterHandoffFailed Counter
+	ClusterFailovers     Counter
+	ClusterResurrected   Counter
+	ClusterRebalanced    Counter
+	ClusterStaleServed   Counter
+	// ClusterHandoffNs is the end-to-end handoff latency distribution
+	// (pause → checkpoint → ship → resume → route flip) in nanoseconds.
+	ClusterHandoffNs Histogram
+
 	// TreeDepth is the distribution of channel data-tree depths (PCL).
 	TreeDepth Histogram
 
@@ -129,6 +152,18 @@ type Metrics struct {
 	// currently running that revision — the fleet's upgrade progress at
 	// a glance.
 	revisionLive sync.Map
+
+	// remoteBackoff maps uplink ID -> *Gauge holding the current redial
+	// backoff in nanoseconds (0 only before first use; the base backoff
+	// once connected).
+	remoteBackoff sync.Map
+
+	// clusterNodeSessions maps cluster-node ID -> *Gauge of sessions the
+	// router currently routes to that node; clusterNodeUp maps node ID
+	// -> *Gauge that is 1 while the node's breaker is closed, 0 while
+	// quarantined or dead.
+	clusterNodeSessions sync.Map
+	clusterNodeUp       sync.Map
 }
 
 // New returns an empty hub.
@@ -202,6 +237,36 @@ func (m *Metrics) RevisionLive(rev int) *Gauge {
 	return v.(*Gauge)
 }
 
+// RemoteBackoff returns (creating on first use) the named uplink's
+// current-backoff gauge, in nanoseconds.
+func (m *Metrics) RemoteBackoff(uplink string) *Gauge {
+	if v, ok := m.remoteBackoff.Load(uplink); ok {
+		return v.(*Gauge)
+	}
+	v, _ := m.remoteBackoff.LoadOrStore(uplink, &Gauge{})
+	return v.(*Gauge)
+}
+
+// ClusterNodeSessions returns (creating on first use) the gauge of
+// sessions routed to one cluster node.
+func (m *Metrics) ClusterNodeSessions(node string) *Gauge {
+	if v, ok := m.clusterNodeSessions.Load(node); ok {
+		return v.(*Gauge)
+	}
+	v, _ := m.clusterNodeSessions.LoadOrStore(node, &Gauge{})
+	return v.(*Gauge)
+}
+
+// ClusterNodeUp returns (creating on first use) the up/down gauge for
+// one cluster node: 1 healthy, 0 quarantined or dead.
+func (m *Metrics) ClusterNodeUp(node string) *Gauge {
+	if v, ok := m.clusterNodeUp.Load(node); ok {
+		return v.(*Gauge)
+	}
+	v, _ := m.clusterNodeUp.LoadOrStore(node, &Gauge{})
+	return v.(*Gauge)
+}
+
 // ObserveTreeDepth records one channel data-tree depth.
 func (m *Metrics) ObserveTreeDepth(depth int) {
 	m.TreeDepth.Observe(int64(depth))
@@ -261,6 +326,22 @@ func (m *Metrics) Snapshot() map[string]any {
 	}
 	m.shardMu.Unlock()
 
+	backoffs := make(map[string]int64)
+	m.remoteBackoff.Range(func(k, v any) bool {
+		backoffs[k.(string)] = v.(*Gauge).Value()
+		return true
+	})
+	nodeSessions := make(map[string]int64)
+	m.clusterNodeSessions.Range(func(k, v any) bool {
+		nodeSessions[k.(string)] = v.(*Gauge).Value()
+		return true
+	})
+	nodeUp := make(map[string]int64)
+	m.clusterNodeUp.Range(func(k, v any) bool {
+		nodeUp[k.(string)] = v.(*Gauge).Value()
+		return true
+	})
+
 	return map[string]any{
 		"spans_emitted":         m.SpansEmitted.Value(),
 		"spans_dropped":         m.SpansDropped.Value(),
@@ -286,6 +367,22 @@ func (m *Metrics) Snapshot() map[string]any {
 			"errors":   m.CheckpointErrors.Value(),
 			"bytes":    m.CheckpointBytes.Value(),
 			"write_ns": m.CheckpointNs.Snapshot(),
+		},
+		"remote": map[string]any{
+			"sent":       m.RemoteSent.Value(),
+			"dropped":    m.RemoteDropped.Value(),
+			"backoff_ns": backoffs,
+		},
+		"cluster": map[string]any{
+			"handoffs":       m.ClusterHandoffs.Value(),
+			"handoff_failed": m.ClusterHandoffFailed.Value(),
+			"failovers":      m.ClusterFailovers.Value(),
+			"resurrected":    m.ClusterResurrected.Value(),
+			"rebalanced":     m.ClusterRebalanced.Value(),
+			"stale_served":   m.ClusterStaleServed.Value(),
+			"handoff_ns":     m.ClusterHandoffNs.Snapshot(),
+			"node_sessions":  nodeSessions,
+			"node_up":        nodeUp,
 		},
 		"rules": map[string]any{
 			"engaged":     m.RulesEngaged.Value(),

@@ -76,6 +76,23 @@ func WritePrometheus(w io.Writer, m *Metrics) {
 	writeLabeledCounters(w, "perpos_provider_transitions_total", "Provider availability transitions into each state.",
 		"state", collectCounters(&m.providerTransitions))
 
+	counter("perpos_remote_sent_total", "Samples shipped over remote uplinks.", m.RemoteSent.Value())
+	counter("perpos_remote_dropped_total", "Samples shed because the uplink peer was unreachable.", m.RemoteDropped.Value())
+	writeLabeledGauges(w, "perpos_remote_backoff_ns", "Current uplink redial backoff in nanoseconds.",
+		"uplink", collectGauges(&m.remoteBackoff))
+
+	counter("perpos_cluster_handoffs_total", "Completed cluster session handoffs.", m.ClusterHandoffs.Value())
+	counter("perpos_cluster_handoff_failed_total", "Cluster session handoffs that failed and rolled back.", m.ClusterHandoffFailed.Value())
+	counter("perpos_cluster_failovers_total", "Node-death failovers executed by the router.", m.ClusterFailovers.Value())
+	counter("perpos_cluster_sessions_resurrected_total", "Sessions resurrected on survivors after a node death.", m.ClusterResurrected.Value())
+	counter("perpos_cluster_sessions_rebalanced_total", "Sessions moved by join/leave rebalancing.", m.ClusterRebalanced.Value())
+	counter("perpos_cluster_stale_served_total", "Position queries served from the router's last-known cache.", m.ClusterStaleServed.Value())
+	writeLabeledGauges(w, "perpos_cluster_node_sessions", "Sessions routed to each cluster node.",
+		"node", collectGauges(&m.clusterNodeSessions))
+	writeLabeledGauges(w, "perpos_cluster_node_up", "Cluster node breaker state: 1 healthy, 0 quarantined or dead.",
+		"node", collectGauges(&m.clusterNodeUp))
+	writeHistogram(w, "perpos_cluster_handoff_ns", "End-to-end session handoff latency in nanoseconds.", nil, &m.ClusterHandoffNs)
+
 	counter("perpos_rules_engaged_total", "Rule-engine action engagements.", m.RulesEngaged.Value())
 	counter("perpos_rules_disengaged_total", "Rule-engine action reverts.", m.RulesDisengaged.Value())
 	counter("perpos_rules_quarantined_total", "Rules benched by flap damping or guard rollback.", m.RulesQuarantined.Value())

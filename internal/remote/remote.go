@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"perpos/internal/core"
+	"perpos/internal/obs"
 )
 
 // Uplink is a Processing Component that forwards every sample arriving
@@ -27,6 +29,7 @@ type Uplink struct {
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
 	jitterFrac  float64
+	metrics     *obs.Metrics
 
 	mu       sync.Mutex
 	conn     net.Conn
@@ -60,6 +63,14 @@ func WithUplinkBackoff(base, max time.Duration) UplinkOption {
 // tests).
 func WithUplinkJitterSeed(seed int64) UplinkOption {
 	return func(u *Uplink) { u.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithUplinkMetrics publishes the uplink's sent/dropped counters and
+// current redial backoff into an obs hub — without it an unreachable
+// peer silently sheds samples, which hides routing loss from
+// operators.
+func WithUplinkMetrics(m *obs.Metrics) UplinkOption {
+	return func(u *Uplink) { u.metrics = m }
 }
 
 // NewUplink returns an uplink forwarding the given kinds to addr.
@@ -117,10 +128,16 @@ func (u *Uplink) Process(_ int, in core.Sample, _ core.Emit) error {
 		// is perishable and must not wedge the pipeline.
 		if err := u.sendLocked(body); err != nil {
 			u.dropped++
+			if u.metrics != nil {
+				u.metrics.RemoteDropped.Inc()
+			}
 			return nil
 		}
 	}
 	u.sent++
+	if u.metrics != nil {
+		u.metrics.RemoteSent.Inc()
+	}
 	return nil
 }
 
@@ -134,13 +151,15 @@ func (u *Uplink) sendLocked(body []byte) error {
 		if err != nil {
 			u.dialErrs++
 			u.backoff = u.nextBackoffLocked()
+			u.publishBackoffLocked()
 			return fmt.Errorf("dial %s: %w", u.addr, err)
 		}
 		u.conn = conn
 		u.dialErrs = 0
 		u.backoff = u.baseBackoff
+		u.publishBackoffLocked()
 	}
-	if err := writeFrame(u.conn, body); err != nil {
+	if err := WriteFrame(u.conn, FrameSample, body); err != nil {
 		_ = u.conn.Close()
 		u.conn = nil
 		return err
@@ -166,6 +185,13 @@ func (u *Uplink) nextBackoffLocked() time.Duration {
 		d = float64(u.maxBackoff)
 	}
 	return time.Duration(d)
+}
+
+// publishBackoffLocked mirrors the current backoff into the obs gauge.
+func (u *Uplink) publishBackoffLocked() {
+	if u.metrics != nil {
+		u.metrics.RemoteBackoff(u.id).Set(int64(u.backoff))
+	}
 }
 
 // Backoff returns the current redial backoff — how long the uplink
@@ -298,9 +324,22 @@ func (s *Server) readLoop(conn net.Conn) {
 		_ = conn.Close()
 	}()
 	for {
-		body, err := readFrame(conn)
+		ftype, body, err := ReadFrame(conn)
 		if err != nil {
-			return // EOF or broken peer: drop the connection
+			// Magic/version failures are recorded before dropping the
+			// connection: a fleet running mixed builds should show up in
+			// Errs(), not vanish as silent disconnects.
+			var ve *VersionError
+			if errors.Is(err, ErrBadMagic) || errors.As(err, &ve) {
+				s.noteErr(err)
+			}
+			return // EOF or broken/incompatible peer: drop the connection
+		}
+		if ftype != FrameSample {
+			// Control frames belong to cluster RPC listeners, not sample
+			// ingest; note the misroute and keep the connection alive.
+			s.noteErr(fmt.Errorf("remote: unexpected frame type 0x%02x on sample link", byte(ftype)))
+			continue
 		}
 		sample, err := decodeSample(body, s.codecs)
 		if err != nil {

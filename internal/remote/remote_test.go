@@ -18,12 +18,15 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	body := []byte(`{"hello":"world"}`)
-	if err := writeFrame(&buf, body); err != nil {
+	if err := WriteFrame(&buf, FrameSample, body); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readFrame(&buf)
+	ftype, got, err := ReadFrame(&buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if ftype != FrameSample {
+		t.Errorf("frame type = 0x%02x, want FrameSample", byte(ftype))
 	}
 	if !bytes.Equal(got, body) {
 		t.Errorf("frame round trip: %s", got)
@@ -32,13 +35,13 @@ func TestFrameRoundTrip(t *testing.T) {
 
 func TestFrameTooLarge(t *testing.T) {
 	var buf bytes.Buffer
-	if err := writeFrame(&buf, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+	if err := WriteFrame(&buf, FrameSample, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("write error = %v, want ErrFrameTooLarge", err)
 	}
 	// A hostile header claiming a huge body must be rejected.
 	buf.Reset()
-	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
-	if _, err := readFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+	buf.Write([]byte{magic0, magic1, ProtocolVersion, byte(FrameSample), 0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("read error = %v, want ErrFrameTooLarge", err)
 	}
 }
@@ -249,7 +252,7 @@ func TestServerRejectsGarbageFrames(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := writeFrame(conn, []byte("garbage")); err != nil {
+	if err := WriteFrame(conn, FrameSample, []byte("garbage")); err != nil {
 		t.Fatal(err)
 	}
 	// A valid frame after the bad one still lands.
@@ -257,7 +260,7 @@ func TestServerRejectsGarbageFrames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := writeFrame(conn, body); err != nil {
+	if err := WriteFrame(conn, FrameSample, body); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(3 * time.Second)

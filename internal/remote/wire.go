@@ -6,8 +6,13 @@
 //
 // An Uplink component forwards every sample arriving at its input port
 // over TCP; a Downlink on the peer re-emits received samples into the
-// remote graph as if produced locally. Samples travel as length-
-// prefixed JSON frames; payload decoding is per-kind, via Codecs.
+// remote graph as if produced locally. Samples travel as versioned,
+// length-prefixed JSON frames; payload decoding is per-kind, via
+// Codecs. The same framing carries cluster control messages
+// (internal/cluster): a frame-type byte distinguishes sample traffic
+// from control RPCs, and a magic + protocol version byte in every
+// header turns cross-version or misdialed connections into typed
+// errors instead of silent corruption.
 package remote
 
 import (
@@ -25,13 +30,56 @@ import (
 // MaxFrame is the largest accepted wire frame in bytes.
 const MaxFrame = 1 << 20
 
+// ProtocolVersion is the wire protocol revision this build speaks.
+// Bump it when the frame body schema changes incompatibly; peers
+// reject mismatched versions with a *VersionError rather than
+// misparsing each other's frames.
+const ProtocolVersion = 2
+
+// Frame magic: two bytes opening every frame header. The v1 format
+// (bare 4-byte big-endian length prefix) begins with 0x00 0x00 for any
+// body under 16 MiB, so v1 frames can never satisfy the magic check —
+// old peers are rejected deterministically, not parsed as garbage.
+const (
+	magic0 = 0x50 // 'P'
+	magic1 = 0x70 // 'p'
+)
+
+// FrameType tags what a frame body contains.
+type FrameType byte
+
+const (
+	// FrameSample carries a wireSample JSON body (Uplink → Downlink).
+	FrameSample FrameType = 0x01
+	// FrameControl carries a cluster control-RPC JSON body
+	// (internal/cluster request/response envelopes).
+	FrameControl FrameType = 0x02
+)
+
+// headerSize is the fixed frame header length:
+// magic(2) | version(1) | type(1) | bodyLen(4, big-endian).
+const headerSize = 8
+
 // Errors returned by the wire layer.
 var (
 	// ErrFrameTooLarge indicates an oversized frame.
 	ErrFrameTooLarge = errors.New("remote: frame exceeds MaxFrame")
 	// ErrNoCodec indicates a sample kind without a registered codec.
 	ErrNoCodec = errors.New("remote: no codec for kind")
+	// ErrBadMagic indicates a frame that does not start with the
+	// protocol magic — a pre-versioning peer or a misdialed port.
+	ErrBadMagic = errors.New("remote: bad frame magic (old-format or foreign peer)")
 )
+
+// VersionError reports a peer speaking a different protocol revision.
+type VersionError struct {
+	Got  byte
+	Want byte
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("remote: protocol version mismatch: peer speaks v%d, this build speaks v%d", e.Got, e.Want)
+}
 
 // Codec converts one kind's payload to and from JSON.
 type Codec struct {
@@ -151,35 +199,50 @@ func decodeSample(body []byte, codecs Codecs) (core.Sample, error) {
 	}, nil
 }
 
-// writeFrame writes one length-prefixed frame.
-func writeFrame(w io.Writer, body []byte) error {
+// WriteFrame writes one framed message: an 8-byte header
+// (magic, version, frame type, big-endian body length) followed by the
+// body. The header and body go out in a single Write so a frame is
+// never torn across a slow-peer stall boundary.
+func WriteFrame(w io.Writer, ftype FrameType, body []byte) error {
 	if len(body) > MaxFrame {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("write frame header: %w", err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("write frame body: %w", err)
+	buf := make([]byte, headerSize+len(body))
+	buf[0] = magic0
+	buf[1] = magic1
+	buf[2] = ProtocolVersion
+	buf[3] = byte(ftype)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(len(body)))
+	copy(buf[headerSize:], body)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("write frame: %w", err)
 	}
 	return nil
 }
 
-// readFrame reads one length-prefixed frame.
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
+// ReadFrame reads one framed message, validating magic and protocol
+// version. It returns ErrBadMagic for pre-versioning (v1) or foreign
+// frames and a *VersionError when the peer speaks a different protocol
+// revision — both before any body bytes are consumed, so the caller
+// can fail the connection without misparsing.
+func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err // io.EOF propagates unwrapped for clean shutdown
+		return 0, nil, err // io.EOF propagates unwrapped for clean shutdown
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	if hdr[0] != magic0 || hdr[1] != magic1 {
+		return 0, nil, ErrBadMagic
+	}
+	if hdr[2] != ProtocolVersion {
+		return 0, nil, &VersionError{Got: hdr[2], Want: ProtocolVersion}
+	}
+	n := binary.BigEndian.Uint32(hdr[4:8])
 	if n > MaxFrame {
-		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("read frame body: %w", err)
+		return 0, nil, fmt.Errorf("read frame body: %w", err)
 	}
-	return body, nil
+	return FrameType(hdr[3]), body, nil
 }

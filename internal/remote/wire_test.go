@@ -1,0 +1,189 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"perpos/internal/core"
+	"perpos/internal/gps"
+	"perpos/internal/obs"
+)
+
+// downlinkGraph builds a minimal graph holding one raw-NMEA downlink.
+func downlinkGraph(t *testing.T) (*core.Graph, *Downlink) {
+	t.Helper()
+	g := core.New()
+	dl := NewDownlink("downlink", core.OutputSpec{Kind: gps.KindRaw})
+	if _, err := g.Add(dl); err != nil {
+		t.Fatal(err)
+	}
+	return g, dl
+}
+
+// TestOldFrameRejected is the cross-version regression gate: a v1 peer
+// (bare 4-byte big-endian length prefix, no magic) must be rejected
+// with ErrBadMagic before any body bytes are parsed — the old format's
+// first two bytes are the length's high bytes, which are zero for any
+// legal body, never the magic.
+func TestOldFrameRejected(t *testing.T) {
+	body := []byte(`{"kind":"gps.raw","payload":"$GPGGA"}`)
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	buf.Write(hdr[:])
+	buf.Write(body)
+
+	if _, _, err := ReadFrame(&buf); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("v1 frame error = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestVersionMismatchRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameControl, []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[2] = ProtocolVersion + 1 // a future build's frames
+
+	_, _, err := ReadFrame(bytes.NewReader(raw))
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error = %v, want *VersionError", err)
+	}
+	if ve.Got != ProtocolVersion+1 || ve.Want != ProtocolVersion {
+		t.Errorf("VersionError = got %d want %d; expected got %d want %d",
+			ve.Got, ve.Want, ProtocolVersion+1, ProtocolVersion)
+	}
+}
+
+// TestServerRejectsOldPeer drives the rejection end-to-end: an
+// old-format uplink connecting to a current Server is dropped and the
+// incompatibility is recorded in Errs, not silently swallowed.
+func TestServerRejectsOldPeer(t *testing.T) {
+	g, dl := downlinkGraph(t)
+	srv, err := Serve("127.0.0.1:0", g, dl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 7)
+	conn.Write(hdr[:])
+	conn.Write([]byte("oldbody"))
+
+	deadline := time.Now().Add(3 * time.Second)
+	for len(srv.Errs()) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	found := false
+	for _, err := range srv.Errs() {
+		if errors.Is(err, ErrBadMagic) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("server errors = %v, want ErrBadMagic recorded", srv.Errs())
+	}
+	if dl.Received() != 0 {
+		t.Errorf("received = %d, want 0 — old frames must not be parsed", dl.Received())
+	}
+}
+
+// TestServerIgnoresControlFrames: a control frame on a sample link is
+// noted and skipped; the connection keeps serving samples.
+func TestServerIgnoresControlFrames(t *testing.T) {
+	g, dl := downlinkGraph(t)
+	srv, err := Serve("127.0.0.1:0", g, dl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, FrameControl, []byte(`{"op":"probe"}`)); err != nil {
+		t.Fatal(err)
+	}
+	body, err := encodeSample(core.NewSample("gps.raw", "$x", time.Time{}), DefaultCodecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(conn, FrameSample, body); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for dl.Received() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if dl.Received() != 1 {
+		t.Fatalf("received = %d, want 1 — sample after control frame must land", dl.Received())
+	}
+	if len(srv.Errs()) == 0 {
+		t.Error("control frame on sample link produced no recorded error")
+	}
+}
+
+// TestUplinkMetrics: sent/dropped counters and the backoff gauge reach
+// the obs hub (JSON snapshot path; the Prometheus exposition is
+// covered in obs's own tests).
+func TestUplinkMetrics(t *testing.T) {
+	hub := obs.New()
+	g, dl := downlinkGraph(t)
+	srv, err := Serve("127.0.0.1:0", g, dl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	up := NewUplink("up", srv.Addr(), []core.Kind{"gps.raw"}, nil,
+		WithUplinkMetrics(hub), WithUplinkJitterSeed(1))
+	defer up.Close()
+	if err := up.Process(0, core.NewSample("gps.raw", "$x", time.Time{}), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := hub.RemoteSent.Value(); got != 1 {
+		t.Errorf("RemoteSent = %d, want 1", got)
+	}
+	if got := hub.RemoteBackoff("up").Value(); got != int64(200*time.Millisecond) {
+		t.Errorf("backoff gauge = %d, want base backoff after connect", got)
+	}
+
+	// An unreachable peer sheds the sample and raises the gauge.
+	dead := NewUplink("dead", "127.0.0.1:1", []core.Kind{"gps.raw"}, nil,
+		WithUplinkMetrics(hub), WithUplinkJitterSeed(1),
+		WithUplinkBackoff(time.Millisecond, 10*time.Millisecond))
+	defer dead.Close()
+	if err := dead.Process(0, core.NewSample("gps.raw", "$x", time.Time{}), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := hub.RemoteDropped.Value(); got == 0 {
+		t.Error("RemoteDropped = 0, want > 0")
+	}
+	if got := hub.RemoteBackoff("dead").Value(); got <= 0 {
+		t.Errorf("dead-peer backoff gauge = %d, want > 0", got)
+	}
+
+	snap := hub.Snapshot()
+	rm, ok := snap["remote"].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot has no remote section: %T", snap["remote"])
+	}
+	if rm["sent"].(uint64) != 1 {
+		t.Errorf("snapshot remote.sent = %v, want 1", rm["sent"])
+	}
+}
