@@ -53,6 +53,7 @@ func run(args []string) error {
 	against := fs.String("against", "", "benchmark ID prefix of the measured family for -ratio")
 	tol := fs.String("tol", "10%", "allowed regression for -compare/-ratio, as a percentage (10%) or fraction (0.1)")
 	gobench := fs.String("gobench", "", "convert `go test -bench` output (a file, or - for stdin) to timing JSON instead of running experiments")
+	keepProcs := fs.Bool("keep-procs", false, "with -gobench, keep the -<GOMAXPROCS> benchmark name suffix so widths stay distinct timing IDs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,7 +86,7 @@ func run(args []string) error {
 		return ratioGate(*ratio, *base, *against, *tol)
 	}
 	if *gobench != "" {
-		return convertGoBench(*gobench, *jsonPath)
+		return convertGoBench(*gobench, *jsonPath, *keepProcs)
 	}
 
 	if *list {
@@ -155,7 +156,7 @@ type timing struct {
 
 // convertGoBench parses `go test -bench` output into the same timing
 // JSON the experiment runner emits, so one -compare gate covers both.
-func convertGoBench(path, jsonPath string) error {
+func convertGoBench(path, jsonPath string, keepProcs bool) error {
 	r := os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -165,7 +166,7 @@ func convertGoBench(path, jsonPath string) error {
 		defer f.Close()
 		r = f
 	}
-	timings, err := parseGoBench(r)
+	timings, err := parseGoBench(r, keepProcs)
 	if err != nil {
 		return err
 	}
@@ -190,9 +191,12 @@ func convertGoBench(path, jsonPath string) error {
 
 // parseGoBench reads benchmark result lines ("BenchmarkX-8  1  42 ns/op
 // 120 B/op  3 allocs/op  10.5 samples/s ..."), keeping ns/op, B/op,
-// allocs/op and the samples/s custom metric. The -<GOMAXPROCS> suffix
-// is stripped so IDs are machine-independent.
-func parseGoBench(r io.Reader) ([]timing, error) {
+// allocs/op and the samples/s custom metric. By default the
+// -<GOMAXPROCS> suffix is stripped so IDs are machine-independent;
+// keepProcs retains it for multi-width runs (`go test -cpu 1,4`),
+// where the width is a deliberate configuration dimension and each
+// width gates against its own baseline row.
+func parseGoBench(r io.Reader, keepProcs bool) ([]timing, error) {
 	var out []timing
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
@@ -200,7 +204,11 @@ func parseGoBench(r io.Reader) ([]timing, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		t := timing{ID: stripProcSuffix(fields[0]), Title: "go test -bench"}
+		id := fields[0]
+		if !keepProcs {
+			id = stripProcSuffix(id)
+		}
+		t := timing{ID: id, Title: "go test -bench"}
 		for i := 2; i+1 < len(fields); i += 2 {
 			val, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: perpos/internal/runtime
+BenchmarkRuntimeSaturated/sessions_100-1         	  428204	      5969 ns/op	    167480 samples/s	    1746 B/op	       5 allocs/op
+BenchmarkRuntimeSaturated/sessions_100-4         	  512000	      2301 ns/op	    434500 samples/s	    1702 B/op	       5 allocs/op
+BenchmarkRuntimeSessions/paced-4                 	     100	 10000000 ns/op	       800.0 samples/s
+PASS
+`
+
+func TestParseGoBenchStripsProcSuffix(t *testing.T) {
+	timings, err := parseGoBench(strings.NewReader(benchOutput), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timings) != 3 {
+		t.Fatalf("got %d timings, want 3", len(timings))
+	}
+	// Both widths collapse to the same ID: the later line wins lookups
+	// in compare maps, which is why multi-width runs need -keep-procs.
+	if got := timings[0].ID; got != "BenchmarkRuntimeSaturated/sessions_100" {
+		t.Errorf("ID[0] = %q, want suffix stripped", got)
+	}
+	if got := timings[1].ID; got != "BenchmarkRuntimeSaturated/sessions_100" {
+		t.Errorf("ID[1] = %q, want suffix stripped", got)
+	}
+	if got := timings[2].ID; got != "BenchmarkRuntimeSessions/paced" {
+		t.Errorf("ID[2] = %q, want suffix stripped", got)
+	}
+}
+
+func TestParseGoBenchKeepProcs(t *testing.T) {
+	timings, err := parseGoBench(strings.NewReader(benchOutput), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timings) != 3 {
+		t.Fatalf("got %d timings, want 3", len(timings))
+	}
+	want := []string{
+		"BenchmarkRuntimeSaturated/sessions_100-1",
+		"BenchmarkRuntimeSaturated/sessions_100-4",
+		"BenchmarkRuntimeSessions/paced-4",
+	}
+	for i, w := range want {
+		if timings[i].ID != w {
+			t.Errorf("ID[%d] = %q, want %q", i, timings[i].ID, w)
+		}
+	}
+	// Widths stay distinct, so per-width metrics survive side by side.
+	if timings[0].SamplesPerSec == timings[1].SamplesPerSec {
+		t.Error("expected distinct samples/s per width")
+	}
+}
+
+func TestParseGoBenchMetrics(t *testing.T) {
+	timings, err := parseGoBench(strings.NewReader(benchOutput), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := timings[0]
+	if got.NsOp != 5969 {
+		t.Errorf("NsOp = %d, want 5969", got.NsOp)
+	}
+	if got.SamplesPerSec != 167480 {
+		t.Errorf("SamplesPerSec = %g, want 167480", got.SamplesPerSec)
+	}
+	if got.AllocsOp != 5 {
+		t.Errorf("AllocsOp = %d, want 5", got.AllocsOp)
+	}
+	if got.BytesOp != 1746 {
+		t.Errorf("BytesOp = %d, want 1746", got.BytesOp)
+	}
+	// The paced line carries no -benchmem columns; they must stay zero
+	// (omitted from JSON) rather than corrupting the gate.
+	if timings[2].AllocsOp != 0 || timings[2].BytesOp != 0 {
+		t.Errorf("paced line grew memory metrics: %+v", timings[2])
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"BenchmarkX-8", "BenchmarkX"},
+		{"BenchmarkX-16", "BenchmarkX"},
+		{"BenchmarkX", "BenchmarkX"},
+		{"BenchmarkX/sub_case-4", "BenchmarkX/sub_case"},
+		// A trailing -word is part of the name, not a width.
+		{"BenchmarkX-fast", "BenchmarkX-fast"},
+	}
+	for _, c := range cases {
+		if got := stripProcSuffix(c.in); got != c.want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

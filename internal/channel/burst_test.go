@@ -1,0 +1,133 @@
+package channel
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"perpos/internal/core"
+)
+
+// layerTreeSignature flattens every channel's current tree for
+// comparison across delivery modes.
+func layerTreeSignature(l *Layer) string {
+	var sb strings.Builder
+	for _, c := range l.Channels() {
+		tree, ok := c.LastTree()
+		if !ok {
+			fmt.Fprintf(&sb, "%s: <none>\n", c.ID())
+			continue
+		}
+		fmt.Fprintf(&sb, "%s:", c.ID())
+		var walk func(n *TreeNode)
+		walk = func(n *TreeNode) {
+			s := n.Sample.Detach()
+			fmt.Fprintf(&sb, " [%s %v @%d]", s.Source, s.Payload, s.Logical)
+			for _, ch := range n.Children {
+				walk(ch)
+			}
+		}
+		walk(tree.Root)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestLayerBatchedMatchesPerEmission is the layer-level batching
+// contract: driving the same graph inside a burst must leave the
+// channel layer with exactly the trees per-emission delivery builds.
+func TestLayerBatchedMatchesPerEmission(t *testing.T) {
+	const steps = 5
+
+	run := func(burst bool) string {
+		g, _ := buildFig2Graph(t, steps)
+		l := NewLayer(g)
+		defer l.Close()
+		var b *core.Burst
+		if burst {
+			b = g.BeginBurst(0)
+			if b == nil {
+				t.Fatal("BeginBurst returned nil — layer did not register as a batch tap")
+			}
+		}
+		for i := 0; i < steps; i++ {
+			if _, err := g.StepAll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b.End()
+		return layerTreeSignature(l)
+	}
+
+	batched := run(true)
+	single := run(false)
+	if batched != single {
+		t.Errorf("trees diverge:\nbatched:\n%s\nper-emission:\n%s", batched, single)
+	}
+	if !strings.Contains(batched, "particle-filter") {
+		t.Errorf("signature looks empty:\n%s", batched)
+	}
+}
+
+// TestLayerEagerDuringBurst: attaching a channel feature flips the
+// layer to NeedsSync, so features keep seeing every delivery even while
+// a burst is open, in order.
+func TestLayerEagerDuringBurst(t *testing.T) {
+	g, _ := buildFig2Graph(t, 3)
+	l := NewLayer(g)
+	defer l.Close()
+
+	if l.NeedsSync("", core.Sample{}) {
+		t.Fatal("layer eager with no features attached")
+	}
+	c, ok := l.ChannelInto("particle-filter", 0)
+	if !ok {
+		t.Fatal("no channel into particle-filter")
+	}
+	f := &plainFeature{name: "counter"}
+	if err := c.AttachFeature(f); err != nil {
+		t.Fatal(err)
+	}
+	if !l.NeedsSync("", core.Sample{}) {
+		t.Fatal("layer not eager after AttachFeature")
+	}
+
+	b := g.BeginBurst(0)
+	for i := 0; i < 3; i++ {
+		if _, err := g.StepAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.count != 3 {
+		t.Errorf("feature applied %d times during burst, want 3 (sync escape)", f.count)
+	}
+	b.End()
+
+	// Detaching the only feature drops eagerness again.
+	if err := c.DetachFeature("counter"); err != nil {
+		t.Fatal(err)
+	}
+	if l.NeedsSync("", core.Sample{}) {
+		t.Error("layer still eager after DetachFeature")
+	}
+}
+
+// TestLayerTreeObserverForcesEager: a tree observer consumes every
+// delivery, so the layer must refuse to defer any.
+func TestLayerTreeObserverForcesEager(t *testing.T) {
+	g, _ := buildFig2Graph(t, 2)
+	seen := 0
+	l := NewLayer(g, WithTreeObserver(func(*Channel, *DataTree) { seen++ }))
+	defer l.Close()
+	if !l.NeedsSync("", core.Sample{}) {
+		t.Fatal("layer with tree observer must be eager")
+	}
+	b := g.BeginBurst(0)
+	if _, err := g.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+	b.End()
+	if seen == 0 {
+		t.Error("tree observer saw nothing during burst")
+	}
+}

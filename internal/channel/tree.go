@@ -53,9 +53,11 @@ var (
 func newTree() *DataTree { return treePool.Get().(*DataTree) }
 
 // newTreeNode allocates a pooled node carrying s, with zero children
-// (but retained child capacity from its previous life).
+// (but retained child capacity from its previous life). The node holds
+// a payload reference until releaseNode.
 func newTreeNode(s core.Sample) *TreeNode {
 	n := nodePool.Get().(*TreeNode)
+	core.RetainPayload(s.Payload)
 	n.Sample = s
 	return n
 }
@@ -81,6 +83,7 @@ func releaseNode(n *TreeNode) {
 		n.Children[i] = nil
 	}
 	n.Children = n.Children[:0]
+	core.ReleasePayload(n.Sample.Payload)
 	n.Sample = core.Sample{}
 	nodePool.Put(n)
 }

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingBatchTap records every delivery, distinguishing per-event
+// Tap calls from TapBatch runs, with a switchable NeedsSync answer.
+type recordingBatchTap struct {
+	mu      sync.Mutex
+	taps    []TapEvent // individual Tap calls
+	batches [][]TapEvent
+	sync    func(string, Sample) bool
+}
+
+func (r *recordingBatchTap) Tap(id string, s Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.taps = append(r.taps, TapEvent{ComponentID: id, Sample: s})
+}
+
+func (r *recordingBatchTap) TapBatch(events []TapEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.batches = append(r.batches, append([]TapEvent(nil), events...))
+}
+
+func (r *recordingBatchTap) NeedsSync(id string, s Sample) bool {
+	if r.sync == nil {
+		return false
+	}
+	return r.sync(id, s)
+}
+
+// all returns every recorded event in delivery order, flattening
+// batches.
+func (r *recordingBatchTap) all() []TapEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []TapEvent
+	out = append(out, r.taps...)
+	for _, b := range r.batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func TestBatchTapOutsideBurst(t *testing.T) {
+	g, _ := buildLinear(t, 3)
+	bt := &recordingBatchTap{}
+	cancel := g.TapBatch(bt)
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// No burst: every emission arrives via per-event Tap, none batched.
+	if len(bt.batches) != 0 {
+		t.Errorf("got %d batches outside a burst, want 0", len(bt.batches))
+	}
+	if len(bt.taps) != 6 { // 3 source emissions + 3 mid emissions
+		t.Errorf("got %d tap events, want 6", len(bt.taps))
+	}
+	cancel()
+	g2, _ := buildLinear(t, 1)
+	_ = g2 // cancel on a different graph's tap must not panic
+}
+
+func TestBatchTapCancel(t *testing.T) {
+	g, _ := buildLinear(t, 2)
+	bt := &recordingBatchTap{}
+	cancel := g.TapBatch(bt)
+	cancel()
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(bt.all()); n != 0 {
+		t.Errorf("cancelled tap still received %d events", n)
+	}
+}
+
+func TestBurstBuffersUntilEnd(t *testing.T) {
+	g, sink := buildLinear(t, 4)
+	bt := &recordingBatchTap{}
+	g.TapBatch(bt)
+
+	b := g.BeginBurst(0)
+	if b == nil {
+		t.Fatal("BeginBurst returned nil with a batch tap registered")
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := g.StepAll(); err != nil {
+			t.Fatal(err)
+		}
+		// Nothing may reach the batch tap while the burst is open.
+		if n := len(bt.all()); n != 0 {
+			t.Fatalf("step %d: %d events delivered before End", i, n)
+		}
+	}
+	b.End()
+
+	if len(bt.batches) != 1 {
+		t.Fatalf("got %d batches, want 1", len(bt.batches))
+	}
+	events := bt.batches[0]
+	if len(events) != 8 { // (src + mid) x 4 steps, emission order
+		t.Fatalf("batch has %d events, want 8", len(events))
+	}
+	// Emission order within the batch: src then mid, per step.
+	for i := 0; i < 8; i += 2 {
+		if events[i].ComponentID != "src" || events[i+1].ComponentID != "mid" {
+			t.Fatalf("events %d,%d = %s,%s; want src,mid",
+				i, i+1, events[i].ComponentID, events[i+1].ComponentID)
+		}
+	}
+	// Propagation itself was not deferred: the sink saw everything
+	// during the burst.
+	if got := len(sink.Received()); got != 4 {
+		t.Errorf("sink received %d, want 4", got)
+	}
+}
+
+func TestBurstBatchTapBeforePlainTap(t *testing.T) {
+	g, _ := buildLinear(t, 1)
+	var order []string
+	bt := &recordingBatchTap{}
+	g.TapBatch(bt)
+	g.TapBatch(&orderTap{name: "batch", order: &order})
+	g.Tap(func(id string, s Sample) { order = append(order, "plain") })
+
+	if _, err := g.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) < 2 || order[0] != "batch" || order[1] != "plain" {
+		t.Errorf("delivery order = %v, want batch before plain", order)
+	}
+}
+
+// orderTap appends its name to a shared slice on each Tap.
+type orderTap struct {
+	name  string
+	order *[]string
+}
+
+func (o *orderTap) Tap(string, Sample) { *o.order = append(*o.order, o.name) }
+func (o *orderTap) TapBatch(events []TapEvent) {
+	for range events {
+		*o.order = append(*o.order, o.name)
+	}
+}
+func (o *orderTap) NeedsSync(string, Sample) bool { return false }
+
+func TestBeginBurstNil(t *testing.T) {
+	g, _ := buildLinear(t, 1)
+	// No batch taps registered.
+	if b := g.BeginBurst(0); b != nil {
+		t.Error("BeginBurst without batch taps should return nil")
+	}
+	// Nil-safety of every method.
+	var b *Burst
+	b.FlushIfStale()
+	b.End()
+
+	g.TapBatch(&recordingBatchTap{})
+	b1 := g.BeginBurst(0)
+	if b1 == nil {
+		t.Fatal("BeginBurst returned nil")
+	}
+	// A second burst while one is open is refused.
+	if b2 := g.BeginBurst(0); b2 != nil {
+		t.Error("nested BeginBurst should return nil")
+	}
+	b1.End()
+	// After End a new burst opens again.
+	if b3 := g.BeginBurst(0); b3 == nil {
+		t.Error("BeginBurst after End should succeed")
+	} else {
+		b3.End()
+	}
+}
+
+func TestBeginBurstRefusedWhileAsyncRunning(t *testing.T) {
+	g, _ := buildLinear(t, 3)
+	g.TapBatch(&recordingBatchTap{})
+	r := NewRunner(g)
+	if err := r.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if b := g.BeginBurst(0); b != nil {
+		b.End()
+		t.Error("BeginBurst should refuse while the async engine runs")
+	}
+}
+
+func TestBurstNeedsSyncFlushesAndDeliversInOrder(t *testing.T) {
+	g, _ := buildLinear(t, 3)
+	var order []string
+	bt := &recordingBatchTap{
+		// Demand sync delivery for mid emissions only.
+		sync: func(id string, _ Sample) bool { return id == "mid" },
+	}
+	g.TapBatch(bt)
+	g.TapBatch(&orderTap{name: "x", order: &order})
+
+	b := g.BeginBurst(0)
+	if _, err := g.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+	// src buffered; mid triggered a sync flush: first the buffered src
+	// event via TapBatch, then mid via Tap.
+	if len(bt.batches) != 1 || len(bt.batches[0]) != 1 || bt.batches[0][0].ComponentID != "src" {
+		t.Fatalf("batches = %+v, want one [src]", bt.batches)
+	}
+	if len(bt.taps) != 1 || bt.taps[0].ComponentID != "mid" {
+		t.Fatalf("sync taps = %+v, want [mid]", bt.taps)
+	}
+	b.End()
+}
+
+func TestBurstFlushesAtCapacity(t *testing.T) {
+	g, _ := buildLinear(t, burstMaxEvents) // 2 events per step
+	bt := &recordingBatchTap{}
+	g.TapBatch(bt)
+	b := g.BeginBurst(0)
+	for i := 0; i < burstMaxEvents/2; i++ { // exactly burstMaxEvents emissions
+		if _, err := g.StepAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(bt.batches) != 1 {
+		t.Fatalf("got %d batches before End, want 1 (capacity flush)", len(bt.batches))
+	}
+	if n := len(bt.batches[0]); n != burstMaxEvents {
+		t.Errorf("capacity batch has %d events, want %d", n, burstMaxEvents)
+	}
+	b.End()
+}
+
+func TestFlushIfStaleBoundsLatency(t *testing.T) {
+	g, _ := buildLinear(t, 2)
+	bt := &recordingBatchTap{}
+	g.TapBatch(bt)
+
+	b := g.BeginBurst(time.Nanosecond) // any wait exceeds the deadline
+	if _, err := g.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Millisecond)
+	b.FlushIfStale()
+	if len(bt.batches) != 1 {
+		t.Fatalf("FlushIfStale did not flush a stale buffer")
+	}
+
+	// A long deadline does not flush.
+	if _, err := g.StepAll(); err != nil {
+		t.Fatal(err)
+	}
+	b.flushAfter = time.Hour
+	b.FlushIfStale()
+	if len(bt.batches) != 1 {
+		t.Error("FlushIfStale flushed before the deadline")
+	}
+	b.End()
+	if len(bt.batches) != 2 {
+		t.Error("End did not flush the remaining events")
+	}
+}
+
+// TestBurstReuse pins the Burst recycling path: ending a burst and
+// opening the next one reuses the same object and its buffer.
+func TestBurstReuse(t *testing.T) {
+	g, _ := buildLinear(t, 1)
+	g.TapBatch(&recordingBatchTap{})
+	b1 := g.BeginBurst(0)
+	b1.End()
+	b2 := g.BeginBurst(0)
+	defer b2.End()
+	if b1 != b2 {
+		t.Error("BeginBurst did not reuse the ended burst")
+	}
+}
+
+// fakePooled implements PooledPayload for the helper tests.
+type fakePooled struct {
+	retains, releases int
+	detached          bool
+}
+
+func (f *fakePooled) Retain()           { f.retains++ }
+func (f *fakePooled) Release()          { f.releases++ }
+func (f *fakePooled) DetachPayload() any { f.detached = true; return "detached" }
+
+func TestPooledPayloadHelpers(t *testing.T) {
+	f := &fakePooled{}
+	RetainPayload(f)
+	if f.retains != 1 {
+		t.Errorf("retains = %d, want 1", f.retains)
+	}
+	ReleasePayload(f)
+	if f.releases != 1 {
+		t.Errorf("releases = %d, want 1", f.releases)
+	}
+	if got := DetachPayload(f); got != "detached" {
+		t.Errorf("DetachPayload = %v, want detached", got)
+	}
+	// Non-pooled payloads pass through untouched.
+	RetainPayload("plain")
+	ReleasePayload(42)
+	if got := DetachPayload("plain"); got != "plain" {
+		t.Errorf("DetachPayload(plain) = %v", got)
+	}
+	if got := DetachPayload(nil); got != nil {
+		t.Errorf("DetachPayload(nil) = %v", got)
+	}
+}
+
+func TestSampleDetachDetachesPayload(t *testing.T) {
+	f := &fakePooled{}
+	s := NewSample(kindRaw, f, time.Now())
+	d := s.Detach()
+	if !f.detached {
+		t.Error("Sample.Detach did not detach the pooled payload")
+	}
+	if d.Payload != "detached" {
+		t.Errorf("detached payload = %v", d.Payload)
+	}
+}
+
+func TestSinkDetachesPooledPayloads(t *testing.T) {
+	g := New()
+	f := &fakePooled{}
+	src := &SliceSource{
+		CompID:  "src",
+		Out:     OutputSpec{Kind: kindRaw},
+		Samples: []Sample{NewSample(kindRaw, f, time.Now())},
+	}
+	if _, err := g.Add(src); err != nil {
+		t.Fatal(err)
+	}
+	sink := NewSink("app", []Kind{kindRaw})
+	if _, err := g.Add(sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Connect("src", "app", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.Received()
+	if len(got) != 1 {
+		t.Fatalf("sink received %d", len(got))
+	}
+	if got[0].Payload != "detached" {
+		t.Errorf("sink retained pooled payload %v, want detached form", got[0].Payload)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for debugging edits

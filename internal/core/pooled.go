@@ -1,0 +1,53 @@
+package core
+
+// PooledPayload is implemented by sample payloads whose backing storage
+// is recycled through a pool (DESIGN.md §13). Producers that opt in to
+// pooled payloads emit samples carrying these; every holder that stores
+// such a sample past the synchronous propagation of its emission — the
+// channel layer's history rings, pooled data-tree nodes, channel root
+// pointers — must Retain it while stored and Release it when the slot
+// is overwritten or freed.
+//
+// Refcounts float at zero: an emitted payload that nothing retains is
+// simply garbage-collected (the pool misses one recycle, correctness is
+// unaffected). Releasing below zero panics — it means a holder released
+// a reference it did not own.
+//
+// Payloads that cross out of the pool's ownership domain (Sample.Detach,
+// sink retention, remote encoding, checkpointing) are converted back to
+// the legacy immutable payload form via DetachPayload, after which the
+// sample is indistinguishable from one produced without pooling.
+type PooledPayload interface {
+	// Retain adds a reference.
+	Retain()
+	// Release drops a reference; the implementation recycles storage
+	// when the count returns to zero.
+	Release()
+	// DetachPayload returns the payload converted to its legacy
+	// non-pooled form (deep-copied out of pooled storage).
+	DetachPayload() any
+}
+
+// RetainPayload retains p when it is pooled; non-pooled payloads
+// (strings, boxed values) pass through untouched.
+func RetainPayload(p any) {
+	if pp, ok := p.(PooledPayload); ok {
+		pp.Retain()
+	}
+}
+
+// ReleasePayload releases p when it is pooled.
+func ReleasePayload(p any) {
+	if pp, ok := p.(PooledPayload); ok {
+		pp.Release()
+	}
+}
+
+// DetachPayload converts a pooled payload to its legacy non-pooled
+// form; non-pooled payloads are returned unchanged.
+func DetachPayload(p any) any {
+	if pp, ok := p.(PooledPayload); ok {
+		return pp.DetachPayload()
+	}
+	return p
+}

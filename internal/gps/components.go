@@ -37,14 +37,27 @@ func (p *Parser) Spec() core.Spec {
 	}
 }
 
-// Process implements core.Component.
+// Process implements core.Component. Raw payloads arrive as strings or,
+// from a pooled-output receiver, as *nmea.Raw; pooled input produces
+// pooled *nmea.Parsed output so the whole sentence path stays
+// allocation-free.
 func (p *Parser) Process(_ int, in core.Sample, emit core.Emit) error {
-	raw, ok := in.Payload.(string)
-	if !ok {
+	var (
+		s   nmea.Sentence
+		err error
+	)
+	switch raw := in.Payload.(type) {
+	case string:
+		s, err = nmea.Parse(raw)
+	case *nmea.Raw:
+		// The receiver's Raw stays referenced by the channel-layer
+		// history for the duration of this synchronous call, and
+		// ParsePooled retains nothing from the input bytes.
+		s, err = nmea.ParsePooled(raw.Bytes())
+	default:
 		p.dropped++
 		return nil
 	}
-	s, err := nmea.Parse(raw)
 	if err != nil {
 		if errors.Is(err, nmea.ErrUnknownType) {
 			// Unknown-but-well-formed sentences are normal; ignore.
@@ -108,37 +121,53 @@ func (i *Interpreter) Spec() core.Spec {
 	}
 }
 
-// Process implements core.Component.
+// Process implements core.Component. Sentences arrive as boxed values
+// from the legacy Parser path or as pooled *nmea.Parsed unions.
 func (i *Interpreter) Process(_ int, in core.Sample, emit core.Emit) error {
 	switch s := in.Payload.(type) {
 	case nmea.GGA:
-		if s.Quality == nmea.FixInvalid {
-			return nil
-		}
-		pos := positioning.Position{
-			Time:     in.Time,
-			Global:   geo.Point{Lat: s.Lat, Lon: s.Lon, Alt: s.Altitude},
-			Accuracy: s.HDOP * i.uere,
-			Source:   "gps",
-		}
-		i.emitted++
-		out := core.NewSample(positioning.KindPosition, pos, in.Time)
-		// Carry the measurement's feature-attached detail (HDOP,
-		// satellite count) forward: consumers asked for it by attaching
-		// the features upstream.
-		if in.Attrs == nil {
-			out.Attrs = i.speedAttrs()
-		} else {
-			out.Attrs = in.Attrs
-			out = out.WithAttr("speedMS", i.lastSpeedMS)
-		}
-		emit(out)
+		i.handleGGA(in, s, emit)
 	case nmea.RMC:
-		if s.Valid {
-			i.lastSpeedMS = s.SpeedMS()
+		i.handleRMC(s)
+	case *nmea.Parsed:
+		switch s.Kind() {
+		case nmea.KindGGA:
+			i.handleGGA(in, s.GGA(), emit)
+		case nmea.KindRMC:
+			i.handleRMC(s.RMC())
 		}
 	}
 	return nil
+}
+
+func (i *Interpreter) handleGGA(in core.Sample, s nmea.GGA, emit core.Emit) {
+	if s.Quality == nmea.FixInvalid {
+		return
+	}
+	pos := positioning.Position{
+		Time:     in.Time,
+		Global:   geo.Point{Lat: s.Lat, Lon: s.Lon, Alt: s.Altitude},
+		Accuracy: s.HDOP * i.uere,
+		Source:   "gps",
+	}
+	i.emitted++
+	out := core.NewSample(positioning.KindPosition, pos, in.Time)
+	// Carry the measurement's feature-attached detail (HDOP,
+	// satellite count) forward: consumers asked for it by attaching
+	// the features upstream.
+	if in.Attrs == nil {
+		out.Attrs = i.speedAttrs()
+	} else {
+		out.Attrs = in.Attrs
+		out = out.WithAttr("speedMS", i.lastSpeedMS)
+	}
+	emit(out)
+}
+
+func (i *Interpreter) handleRMC(s nmea.RMC) {
+	if s.Valid {
+		i.lastSpeedMS = s.SpeedMS()
+	}
 }
 
 // speedAttrs returns a shared {"speedMS": lastSpeedMS} snapshot,

@@ -1,0 +1,125 @@
+package gps
+
+import (
+	"testing"
+	"time"
+
+	"perpos/internal/core"
+	"perpos/internal/nmea"
+	"perpos/internal/positioning"
+)
+
+// TestPooledReceiverMatchesLegacy is the pooling transparency contract
+// at the component level: a pooled-output receiver must emit the same
+// framed sentences as a plain one, and the Parser + Interpreter chain
+// must produce identical positions from either form.
+func TestPooledReceiverMatchesLegacy(t *testing.T) {
+	cfg := Config{Seed: 7, ColdStart: time.Second}
+	legacy := NewReceiver("gps", outdoorTrace(60), cfg)
+	pooled := NewReceiver("gps", outdoorTrace(60), cfg, WithPooledOutput())
+
+	legacyLines := runReceiver(t, legacy)
+	pooledLines := runReceiver(t, pooled)
+
+	if len(legacyLines) == 0 || len(legacyLines) != len(pooledLines) {
+		t.Fatalf("emitted %d legacy vs %d pooled lines", len(legacyLines), len(pooledLines))
+	}
+	for i := range legacyLines {
+		want := legacyLines[i].Payload.(string)
+		raw, ok := pooledLines[i].Payload.(*nmea.Raw)
+		if !ok {
+			t.Fatalf("pooled line %d payload is %T, want *nmea.Raw", i, pooledLines[i].Payload)
+		}
+		if got := raw.String(); got != want {
+			t.Fatalf("line %d: pooled %q, legacy %q", i, got, want)
+		}
+		// Detach converts back to the legacy form.
+		if det := pooledLines[i].Detach().Payload.(string); det != want {
+			t.Fatalf("line %d detached to %q, want %q", i, det, want)
+		}
+	}
+
+	// Push both streams through Parser -> Interpreter and compare
+	// positions exactly.
+	positionsFrom := func(lines []core.Sample) []positioning.Position {
+		p := NewParser("parser")
+		in := NewInterpreter("interp", 0)
+		var out []positioning.Position
+		collect := func(s core.Sample) {
+			out = append(out, s.Payload.(positioning.Position))
+		}
+		for _, line := range lines {
+			var sentences []core.Sample
+			if err := p.Process(0, line, func(s core.Sample) { sentences = append(sentences, s) }); err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range sentences {
+				if err := in.Process(0, s, collect); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return out
+	}
+	legacyPos := positionsFrom(legacyLines)
+	pooledPos := positionsFrom(pooledLines)
+	if len(legacyPos) == 0 || len(legacyPos) != len(pooledPos) {
+		t.Fatalf("positions: %d legacy vs %d pooled", len(legacyPos), len(pooledPos))
+	}
+	for i := range legacyPos {
+		if legacyPos[i].Global != pooledPos[i].Global ||
+			legacyPos[i].Accuracy != pooledPos[i].Accuracy ||
+			!legacyPos[i].Time.Equal(pooledPos[i].Time) {
+			t.Fatalf("position %d differs:\nlegacy: %+v\npooled: %+v",
+				i, legacyPos[i], pooledPos[i])
+		}
+	}
+}
+
+// TestParserPooledFeatureExtraction runs pooled sentences through the
+// parser with HDOP and satellite features attached, checking the
+// *nmea.Parsed arms of the extractors.
+func TestParserPooledFeatureExtraction(t *testing.T) {
+	r := NewReceiver("gps", outdoorTrace(30), Config{Seed: 9, ColdStart: time.Second},
+		WithPooledOutput())
+	lines := runReceiver(t, r)
+
+	p := NewParser("parser")
+	hdopSeen, satsSeen := 0, 0
+	for _, line := range lines {
+		var sentences []core.Sample
+		if err := p.Process(0, line, func(s core.Sample) { sentences = append(sentences, s) }); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sentences {
+			if h, ok := hdopOf(s); ok {
+				if h <= 0 || h > 50 {
+					t.Fatalf("implausible HDOP %v from pooled sentence", h)
+				}
+				hdopSeen++
+			}
+			if n, ok := satellitesOf(s); ok {
+				if n < 0 || n > 32 {
+					t.Fatalf("implausible satellite count %d", n)
+				}
+				satsSeen++
+			}
+		}
+	}
+	if hdopSeen == 0 || satsSeen == 0 {
+		t.Errorf("pooled extraction saw hdop=%d sats=%d samples, want both > 0", hdopSeen, satsSeen)
+	}
+}
+
+// TestParserDropsUnknownPayloadType pins the Parser's defensive arm.
+func TestParserDropsUnknownPayloadType(t *testing.T) {
+	p := NewParser("parser")
+	if err := p.Process(0, core.NewSample(KindRaw, 42, time.Now()), func(core.Sample) {
+		t.Fatal("emitted from garbage payload")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, dropped := p.Stats(); dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}

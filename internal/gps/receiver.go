@@ -137,6 +137,10 @@ type Receiver struct {
 	emitted    int
 	epochCount int
 
+	// pooled switches raw output from string payloads to pooled
+	// *nmea.Raw payloads (see WithPooledOutput).
+	pooled bool
+
 	// gsvSats is formatting scratch for one GSV sentence; the formatted
 	// string never aliases it, so reuse across epochs is safe.
 	gsvSats [4]nmea.SatelliteInView
@@ -159,6 +163,17 @@ func StartOff() ReceiverOption {
 		r.mode = ModeOff
 		r.offSince = time.Time{} // never been on: cold
 	}
+}
+
+// WithPooledOutput makes the receiver emit pooled *nmea.Raw payloads
+// instead of strings, eliminating the per-sentence string and interface
+// allocations on the saturated hot path. Pooled payloads follow the
+// core.PooledPayload ownership contract (DESIGN.md §13); the session's
+// channel-layer history must be deeper than any downstream buffering so
+// a sentence stays referenced while in flight. The Parser accepts both
+// forms, so enabling this is transparent to the rest of the pipeline.
+func WithPooledOutput() ReceiverOption {
+	return func(r *Receiver) { r.pooled = true }
 }
 
 // NewReceiver returns a receiver replaying the given ground-truth trace.
@@ -267,7 +282,7 @@ func (r *Receiver) Step(emit core.Emit) (bool, error) {
 		// Powered down: silence.
 	case ModeAcquiring:
 		r.acquireLeft -= r.cfg.Epoch
-		r.emitRaw(emit, r.noFixGGA())
+		emitSentence(r, emit, r.noFixGGA())
 		if r.acquireLeft <= 0 {
 			r.mode = ModeTracking
 		}
@@ -286,7 +301,7 @@ func (r *Receiver) emitEpoch(emit core.Emit, truth trace.Point) {
 
 	if sats < 3 {
 		// No fix at all this epoch.
-		r.emitRaw(emit, r.noFixGGA())
+		emitSentence(r, emit, r.noFixGGA())
 		return
 	}
 
@@ -316,7 +331,7 @@ func (r *Receiver) emitEpoch(emit core.Emit, truth trace.Point) {
 		HDOP:          round1(hdop),
 		Altitude:      55,
 	}
-	r.emitRaw(emit, gga.Format())
+	emitSentence(r, emit, gga)
 
 	speedKn := truth.Speed / 0.514444 * (1 + r.rng.NormFloat64()*0.1)
 	if speedKn < 0 {
@@ -330,7 +345,7 @@ func (r *Receiver) emitEpoch(emit core.Emit, truth trace.Point) {
 		SpeedKn: round1(speedKn),
 		CourseT: round1(truth.Heading),
 	}
-	r.emitRaw(emit, rmc.Format())
+	emitSentence(r, emit, rmc)
 
 	gsa := nmea.GSA{
 		Auto:    true,
@@ -340,7 +355,7 @@ func (r *Receiver) emitEpoch(emit core.Emit, truth trace.Point) {
 		HDOP:    round1(hdop),
 		VDOP:    round1(hdop * 1.1),
 	}
-	r.emitRaw(emit, gsa.Format())
+	emitSentence(r, emit, gsa)
 
 	// A satellites-in-view report every fifth epoch, like real
 	// receivers interleave the slow GSV group.
@@ -373,7 +388,7 @@ func (r *Receiver) emitGSVGroup(emit core.Emit, sats int) {
 			TotalInView: len(ids),
 			Satellites:  r.gsvSats[:n],
 		}
-		r.emitRaw(emit, g.Format())
+		emitSentence(r, emit, g)
 	}
 }
 
@@ -391,18 +406,26 @@ func (r *Receiver) environment(truth trace.Point) (sats int, hdop float64) {
 	return sats, hdop
 }
 
-func (r *Receiver) noFixGGA() string {
+func (r *Receiver) noFixGGA() nmea.GGA {
 	return nmea.GGA{
 		Time:          r.now,
 		Quality:       nmea.FixInvalid,
 		NumSatellites: r.lastSats,
 		HDOP:          99.9,
-	}.Format()
+	}
 }
 
-func (r *Receiver) emitRaw(emit core.Emit, line string) {
+// emitSentence renders and emits one sentence. It is generic over the
+// concrete sentence type (a constraint, not an interface parameter) so
+// the value never boxes on the legacy path; in pooled mode it renders
+// into a recycled *nmea.Raw instead of allocating a string.
+func emitSentence[S nmea.Appender](r *Receiver, emit core.Emit, s S) {
 	r.emitted++
-	emit(core.NewSample(KindRaw, line, r.now))
+	if r.pooled {
+		emit(core.NewSample(KindRaw, nmea.FormatRaw(s), r.now))
+		return
+	}
+	emit(core.NewSample(KindRaw, string(s.AppendFormat(make([]byte, 0, 96))), r.now))
 }
 
 // prnTable is the simulator's fixed constellation: PRNs 2..13. prns

@@ -10,8 +10,9 @@ import (
 
 // Formatting is on the saturated hot path (the simulated receiver
 // renders every epoch's sentence group), so sentences are assembled
-// with strconv.Append* into a strings.Builder instead of fmt — one
-// allocation per sentence (the final string), no interface boxing.
+// with strconv.Append* into a caller-supplied byte buffer — zero
+// allocations when the caller recycles the buffer (see FormatRaw), one
+// (the final string) for the legacy Format methods.
 
 // Frame wraps a payload (without '$' or checksum) into a complete
 // sentence with checksum and CRLF, ready to be emitted by a receiver.
@@ -33,19 +34,15 @@ func writeChecksum(b *strings.Builder, sum byte) {
 	b.WriteString("\r\n")
 }
 
-// finish frames the payload accumulated in buf (which must NOT include
-// the leading '$') into a complete sentence string.
-func finish(buf []byte) string {
+// closeFrame checksums the payload appended since start (which must
+// point at the '$' opening the frame) and appends "*HH\r\n".
+func closeFrame(dst []byte, start int) []byte {
+	const hexDigits = "0123456789ABCDEF"
 	var sum byte
-	for _, c := range buf {
+	for _, c := range dst[start+1:] {
 		sum ^= c
 	}
-	var b strings.Builder
-	b.Grow(len(buf) + 6)
-	b.WriteByte('$')
-	b.Write(buf)
-	writeChecksum(&b, sum)
-	return b.String()
+	return append(dst, '*', hexDigits[sum>>4], hexDigits[sum&0xF], '\r', '\n')
 }
 
 // Format renders a sentence back into its framed wire form. It supports
@@ -53,8 +50,8 @@ func finish(buf []byte) string {
 // fields up to the wire precision (1e-4 minutes, i.e. ~0.2 m).
 //
 // Hot-path producers that hold a concrete sentence value should call
-// its Format method directly — passing through the Sentence interface
-// boxes the value on the heap per call.
+// its Format or AppendFormat method directly — passing through the
+// Sentence interface boxes the value on the heap per call.
 func Format(s Sentence) (string, error) {
 	switch v := s.(type) {
 	case GGA:
@@ -65,22 +62,24 @@ func Format(s Sentence) (string, error) {
 		return v.Format(), nil
 	case GSV:
 		return v.Format(), nil
+	case *Parsed:
+		return v.format()
 	default:
 		return "", fmt.Errorf("%w: %T", ErrUnknownType, s)
 	}
 }
 
 // Format renders the sentence in framed wire form.
-func (g GGA) Format() string { return formatGGA(g) }
+func (g GGA) Format() string { return string(g.AppendFormat(make([]byte, 0, 96))) }
 
 // Format renders the sentence in framed wire form.
-func (r RMC) Format() string { return formatRMC(r) }
+func (r RMC) Format() string { return string(r.AppendFormat(make([]byte, 0, 96))) }
 
 // Format renders the sentence in framed wire form.
-func (g GSA) Format() string { return formatGSA(g) }
+func (g GSA) Format() string { return string(g.AppendFormat(make([]byte, 0, 96))) }
 
 // Format renders the sentence in framed wire form.
-func (g GSV) Format() string { return formatGSV(g) }
+func (g GSV) Format() string { return string(g.AppendFormat(make([]byte, 0, 112))) }
 
 // appendIntPad appends v zero-padded to the given width.
 func appendIntPad(p []byte, v, width int) []byte {
@@ -130,99 +129,104 @@ func appendScaled(p []byte, scaled int64, dec int) []byte {
 	return strconv.AppendInt(p, frac, 10)
 }
 
-func formatGGA(g GGA) string {
-	buf := make([]byte, 0, 80)
-	buf = append(buf, "GPGGA,"...)
-	buf = appendUTC(buf, g.Time)
-	buf = append(buf, ',')
-	buf = appendLatLon(buf, g.Lat, true)
-	buf = append(buf, ',')
-	buf = appendLatLon(buf, g.Lon, false)
-	buf = append(buf, ',')
-	buf = strconv.AppendInt(buf, int64(g.Quality), 10)
-	buf = append(buf, ',')
-	buf = appendIntPad(buf, g.NumSatellites, 2)
-	buf = append(buf, ',')
-	buf = appendFixed(buf, g.HDOP)
-	buf = append(buf, ',')
-	buf = appendFixed(buf, g.Altitude)
-	buf = append(buf, ",M,0.0,M,,"...)
-	return finish(buf)
+// AppendFormat appends the complete framed wire form ("$GPGGA,...*HH\r\n")
+// to dst and returns the extended buffer.
+func (g GGA) AppendFormat(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, "$GPGGA,"...)
+	dst = appendUTC(dst, g.Time)
+	dst = append(dst, ',')
+	dst = appendLatLon(dst, g.Lat, true)
+	dst = append(dst, ',')
+	dst = appendLatLon(dst, g.Lon, false)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(g.Quality), 10)
+	dst = append(dst, ',')
+	dst = appendIntPad(dst, g.NumSatellites, 2)
+	dst = append(dst, ',')
+	dst = appendFixed(dst, g.HDOP)
+	dst = append(dst, ',')
+	dst = appendFixed(dst, g.Altitude)
+	dst = append(dst, ",M,0.0,M,,"...)
+	return closeFrame(dst, start)
 }
 
-func formatRMC(r RMC) string {
-	buf := make([]byte, 0, 80)
-	buf = append(buf, "GPRMC,"...)
-	buf = appendUTC(buf, r.Time)
+// AppendFormat appends the complete framed wire form to dst.
+func (r RMC) AppendFormat(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, "$GPRMC,"...)
+	dst = appendUTC(dst, r.Time)
 	if r.Valid {
-		buf = append(buf, ",A,"...)
+		dst = append(dst, ",A,"...)
 	} else {
-		buf = append(buf, ",V,"...)
+		dst = append(dst, ",V,"...)
 	}
-	buf = appendLatLon(buf, r.Lat, true)
-	buf = append(buf, ',')
-	buf = appendLatLon(buf, r.Lon, false)
-	buf = append(buf, ',')
-	buf = appendFixed(buf, r.SpeedKn)
-	buf = append(buf, ',')
-	buf = appendFixed(buf, r.CourseT)
-	buf = append(buf, ',')
+	dst = appendLatLon(dst, r.Lat, true)
+	dst = append(dst, ',')
+	dst = appendLatLon(dst, r.Lon, false)
+	dst = append(dst, ',')
+	dst = appendFixed(dst, r.SpeedKn)
+	dst = append(dst, ',')
+	dst = appendFixed(dst, r.CourseT)
+	dst = append(dst, ',')
 	if !r.Time.IsZero() {
 		// ddmmyy
-		buf = appendIntPad(buf, r.Time.Day(), 2)
-		buf = appendIntPad(buf, int(r.Time.Month()), 2)
-		buf = appendIntPad(buf, r.Time.Year()%100, 2)
+		dst = appendIntPad(dst, r.Time.Day(), 2)
+		dst = appendIntPad(dst, int(r.Time.Month()), 2)
+		dst = appendIntPad(dst, r.Time.Year()%100, 2)
 	}
-	buf = append(buf, ",,"...)
-	return finish(buf)
+	dst = append(dst, ",,"...)
+	return closeFrame(dst, start)
 }
 
-func formatGSA(g GSA) string {
-	buf := make([]byte, 0, 80)
-	buf = append(buf, "GPGSA,"...)
+// AppendFormat appends the complete framed wire form to dst.
+func (g GSA) AppendFormat(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, "$GPGSA,"...)
 	if g.Auto {
-		buf = append(buf, 'A')
+		dst = append(dst, 'A')
 	} else {
-		buf = append(buf, 'M')
+		dst = append(dst, 'M')
 	}
-	buf = append(buf, ',')
-	buf = strconv.AppendInt(buf, int64(g.FixMode), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(g.FixMode), 10)
 	for i := 0; i < 12; i++ {
-		buf = append(buf, ',')
+		dst = append(dst, ',')
 		if i < len(g.PRNs) {
-			buf = appendIntPad(buf, g.PRNs[i], 2)
+			dst = appendIntPad(dst, g.PRNs[i], 2)
 		}
 	}
-	buf = append(buf, ',')
-	buf = appendFixed(buf, g.PDOP)
-	buf = append(buf, ',')
-	buf = appendFixed(buf, g.HDOP)
-	buf = append(buf, ',')
-	buf = appendFixed(buf, g.VDOP)
-	return finish(buf)
+	dst = append(dst, ',')
+	dst = appendFixed(dst, g.PDOP)
+	dst = append(dst, ',')
+	dst = appendFixed(dst, g.HDOP)
+	dst = append(dst, ',')
+	dst = appendFixed(dst, g.VDOP)
+	return closeFrame(dst, start)
 }
 
-func formatGSV(g GSV) string {
-	buf := make([]byte, 0, 96)
-	buf = append(buf, "GPGSV,"...)
-	buf = strconv.AppendInt(buf, int64(g.TotalMsgs), 10)
-	buf = append(buf, ',')
-	buf = strconv.AppendInt(buf, int64(g.MsgNum), 10)
-	buf = append(buf, ',')
-	buf = appendIntPad(buf, g.TotalInView, 2)
+// AppendFormat appends the complete framed wire form to dst.
+func (g GSV) AppendFormat(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, "$GPGSV,"...)
+	dst = strconv.AppendInt(dst, int64(g.TotalMsgs), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(g.MsgNum), 10)
+	dst = append(dst, ',')
+	dst = appendIntPad(dst, g.TotalInView, 2)
 	for _, sv := range g.Satellites {
-		buf = append(buf, ',')
-		buf = appendIntPad(buf, sv.PRN, 2)
-		buf = append(buf, ',')
-		buf = appendIntPad(buf, sv.Elevation, 2)
-		buf = append(buf, ',')
-		buf = appendIntPad(buf, sv.Azimuth, 3)
-		buf = append(buf, ',')
+		dst = append(dst, ',')
+		dst = appendIntPad(dst, sv.PRN, 2)
+		dst = append(dst, ',')
+		dst = appendIntPad(dst, sv.Elevation, 2)
+		dst = append(dst, ',')
+		dst = appendIntPad(dst, sv.Azimuth, 3)
+		dst = append(dst, ',')
 		if sv.SNR > 0 {
-			buf = appendIntPad(buf, sv.SNR, 2)
+			dst = appendIntPad(dst, sv.SNR, 2)
 		}
 	}
-	return finish(buf)
+	return closeFrame(dst, start)
 }
 
 // appendUTC appends hhmmss.ss. Zero times append an empty field.

@@ -210,48 +210,66 @@ func unframe(raw string) (string, error) {
 }
 
 func parseGGA(f []string) (Sentence, error) {
-	// $GPGGA,hhmmss.ss,llll.ll,a,yyyyy.yy,a,x,xx,x.x,x.x,M,x.x,M,,*hh
-	if len(f) != 15 {
-		return nil, fmt.Errorf("%w: GGA has %d fields, want 15", ErrFieldCount, len(f))
-	}
 	var g GGA
-	var err error
-	if g.Time, err = parseUTC(f[1], ""); err != nil {
-		return nil, err
-	}
-	if g.Lat, err = parseLatLon(f[2], f[3], true); err != nil {
-		return nil, err
-	}
-	if g.Lon, err = parseLatLon(f[4], f[5], false); err != nil {
-		return nil, err
-	}
-	q, err := parseInt(f[6], "fix quality")
-	if err != nil {
-		return nil, err
-	}
-	g.Quality = FixQuality(q)
-	if g.NumSatellites, err = parseInt(f[7], "satellite count"); err != nil {
-		return nil, err
-	}
-	if g.HDOP, err = parseFloat(f[8], "hdop"); err != nil {
-		return nil, err
-	}
-	if g.Altitude, err = parseFloat(f[9], "altitude"); err != nil {
+	if err := parseGGAInto(f, &g); err != nil {
 		return nil, err
 	}
 	return g, nil
 }
 
+// parseGGAInto parses into a caller-supplied GGA, overwriting every
+// field, so pooled callers need not zero the destination first.
+func parseGGAInto(f []string, g *GGA) error {
+	// $GPGGA,hhmmss.ss,llll.ll,a,yyyyy.yy,a,x,xx,x.x,x.x,M,x.x,M,,*hh
+	if len(f) != 15 {
+		return fmt.Errorf("%w: GGA has %d fields, want 15", ErrFieldCount, len(f))
+	}
+	var err error
+	if g.Time, err = parseUTC(f[1], ""); err != nil {
+		return err
+	}
+	if g.Lat, err = parseLatLon(f[2], f[3], true); err != nil {
+		return err
+	}
+	if g.Lon, err = parseLatLon(f[4], f[5], false); err != nil {
+		return err
+	}
+	q, err := parseInt(f[6], "fix quality")
+	if err != nil {
+		return err
+	}
+	g.Quality = FixQuality(q)
+	if g.NumSatellites, err = parseInt(f[7], "satellite count"); err != nil {
+		return err
+	}
+	if g.HDOP, err = parseFloat(f[8], "hdop"); err != nil {
+		return err
+	}
+	if g.Altitude, err = parseFloat(f[9], "altitude"); err != nil {
+		return err
+	}
+	return nil
+}
+
 func parseRMC(f []string) (Sentence, error) {
+	var r RMC
+	if err := parseRMCInto(f, &r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// parseRMCInto parses into a caller-supplied RMC, overwriting every
+// field.
+func parseRMCInto(f []string, r *RMC) error {
 	// $GPRMC,hhmmss.ss,A,llll.ll,a,yyyyy.yy,a,x.x,x.x,ddmmyy,x.x,a*hh
 	// Some receivers add a 13th mode field; accept 12 or 13.
 	if len(f) != 12 && len(f) != 13 {
-		return nil, fmt.Errorf("%w: RMC has %d fields, want 12 or 13", ErrFieldCount, len(f))
+		return fmt.Errorf("%w: RMC has %d fields, want 12 or 13", ErrFieldCount, len(f))
 	}
-	var r RMC
 	var err error
 	if r.Time, err = parseUTC(f[1], f[9]); err != nil {
-		return nil, err
+		return err
 	}
 	switch f[2] {
 	case "A":
@@ -259,48 +277,60 @@ func parseRMC(f []string) (Sentence, error) {
 	case "V", "":
 		r.Valid = false
 	default:
-		return nil, fmt.Errorf("%w: RMC status %q", ErrBadField, f[2])
+		return fmt.Errorf("%w: RMC status %q", ErrBadField, f[2])
 	}
 	if r.Lat, err = parseLatLon(f[3], f[4], true); err != nil {
-		return nil, err
+		return err
 	}
 	if r.Lon, err = parseLatLon(f[5], f[6], false); err != nil {
-		return nil, err
+		return err
 	}
 	if r.SpeedKn, err = parseFloat(f[7], "speed"); err != nil {
-		return nil, err
+		return err
 	}
 	if r.CourseT, err = parseFloat(f[8], "course"); err != nil {
-		return nil, err
+		return err
 	}
-	return r, nil
+	return nil
 }
 
 func parseGSA(f []string) (Sentence, error) {
+	var g GSA
+	if err := parseGSAInto(f, &g, nil); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// parseGSAInto parses into a caller-supplied GSA, overwriting every
+// field. PRNs are appended to prns (pooled callers pass a reusable
+// zero-length buffer); when prns is nil a fresh slice is allocated on
+// the first PRN, matching the legacy nil-when-empty behaviour.
+func parseGSAInto(f []string, g *GSA, prns []int) error {
 	// $GPGSA,A,3,prn*12,pdop,hdop,vdop*hh -> 18 fields
 	if len(f) != 18 {
-		return nil, fmt.Errorf("%w: GSA has %d fields, want 18", ErrFieldCount, len(f))
+		return fmt.Errorf("%w: GSA has %d fields, want 18", ErrFieldCount, len(f))
 	}
-	var g GSA
 	switch f[1] {
 	case "A":
 		g.Auto = true
 	case "M":
 		g.Auto = false
 	default:
-		return nil, fmt.Errorf("%w: GSA mode %q", ErrBadField, f[1])
+		return fmt.Errorf("%w: GSA mode %q", ErrBadField, f[1])
 	}
 	var err error
 	if g.FixMode, err = parseInt(f[2], "fix mode"); err != nil {
-		return nil, err
+		return err
 	}
+	g.PRNs = prns
 	for i := 3; i < 15; i++ {
 		if f[i] == "" {
 			continue
 		}
 		prn, err := parseInt(f[i], "prn")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if g.PRNs == nil {
 			g.PRNs = make([]int, 0, 12)
@@ -308,53 +338,67 @@ func parseGSA(f []string) (Sentence, error) {
 		g.PRNs = append(g.PRNs, prn)
 	}
 	if g.PDOP, err = parseFloat(f[15], "pdop"); err != nil {
-		return nil, err
+		return err
 	}
 	if g.HDOP, err = parseFloat(f[16], "hdop"); err != nil {
-		return nil, err
+		return err
 	}
 	if g.VDOP, err = parseFloat(f[17], "vdop"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func parseGSV(f []string) (Sentence, error) {
+	var g GSV
+	if err := parseGSVInto(f, &g, nil); err != nil {
 		return nil, err
 	}
 	return g, nil
 }
 
-func parseGSV(f []string) (Sentence, error) {
+// parseGSVInto parses into a caller-supplied GSV, overwriting every
+// field. Satellites are appended to sats (pooled callers pass a
+// reusable zero-length buffer); when sats is nil a fresh slice is
+// allocated.
+func parseGSVInto(f []string, g *GSV, sats []SatelliteInView) error {
 	// $GPGSV,total,num,inview,(prn,elev,az,snr)x1..4*hh
 	if len(f) < 4 || (len(f)-4)%4 != 0 {
-		return nil, fmt.Errorf("%w: GSV has %d fields", ErrFieldCount, len(f))
+		return fmt.Errorf("%w: GSV has %d fields", ErrFieldCount, len(f))
 	}
-	var g GSV
 	var err error
 	if g.TotalMsgs, err = parseInt(f[1], "total msgs"); err != nil {
-		return nil, err
+		return err
 	}
 	if g.MsgNum, err = parseInt(f[2], "msg num"); err != nil {
-		return nil, err
+		return err
 	}
 	if g.TotalInView, err = parseInt(f[3], "in view"); err != nil {
-		return nil, err
+		return err
 	}
-	g.Satellites = make([]SatelliteInView, 0, (len(f)-4)/4)
+	if sats == nil {
+		sats = make([]SatelliteInView, 0, (len(f)-4)/4)
+	}
+	g.Satellites = sats
 	for i := 4; i+4 <= len(f); i += 4 {
 		var sv SatelliteInView
 		if sv.PRN, err = parseInt(f[i], "prn"); err != nil {
-			return nil, err
+			return err
 		}
 		if sv.Elevation, err = parseInt(f[i+1], "elevation"); err != nil {
-			return nil, err
+			return err
 		}
 		if sv.Azimuth, err = parseInt(f[i+2], "azimuth"); err != nil {
-			return nil, err
+			return err
 		}
 		if f[i+3] != "" {
 			if sv.SNR, err = parseInt(f[i+3], "snr"); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		g.Satellites = append(g.Satellites, sv)
 	}
-	return g, nil
+	return nil
 }
 
 // parseUTC parses hhmmss(.sss) plus an optional ddmmyy date field.

@@ -1,0 +1,231 @@
+package nmea
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// pooledSentences covers all four supported types in framed form.
+var pooledSentences = []string{
+	ggaSentence,
+	rmcSentence,
+	Frame("GPGSA,A,3,04,05,,09,12,,,24,,,,,2.5,1.3,2.1"),
+	Frame("GPGSV,2,1,08,01,40,083,46,02,17,308,41,12,07,344,39,14,22,228,45"),
+}
+
+// TestParsePooledMatchesParse is the core equivalence contract: for
+// every sentence type, ParsePooled's detached payload must be
+// indistinguishable from what Parse returns.
+func TestParsePooledMatchesParse(t *testing.T) {
+	for _, raw := range pooledSentences {
+		legacy, err := Parse(raw)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", raw, err)
+		}
+		p, err := ParsePooled([]byte(raw))
+		if err != nil {
+			t.Fatalf("ParsePooled(%q): %v", raw, err)
+		}
+		if p.Type() != legacy.Type() {
+			t.Errorf("Type = %q, want %q", p.Type(), legacy.Type())
+		}
+		if got := p.DetachPayload(); !reflect.DeepEqual(got, legacy) {
+			t.Errorf("DetachPayload(%q) =\n%+v\nwant\n%+v", raw, got, legacy)
+		}
+		// The floating zero reference is dropped implicitly: Release
+		// pairs only with Retain.
+		p.Retain()
+		p.Release()
+	}
+}
+
+// TestParsePooledViews checks the aliasing accessors agree with the
+// legacy parse without detaching.
+func TestParsePooledViews(t *testing.T) {
+	p, err := ParsePooled([]byte(Frame("GPGSA,A,3,04,05,,09,12,,,24,,,,,2.5,1.3,2.1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind() != KindGSA {
+		t.Fatalf("Kind = %v, want KindGSA", p.Kind())
+	}
+	g := p.GSA()
+	if want := []int{4, 5, 9, 12, 24}; !reflect.DeepEqual(g.PRNs, want) {
+		t.Errorf("PRNs = %v, want %v", g.PRNs, want)
+	}
+	// Detached copy must not alias pooled storage: retain/release to
+	// force a recycle, then reparse so the pool may hand the same
+	// object back.
+	det := p.DetachPayload().(GSA)
+	p.Retain()
+	p.Release()
+	if _, err := ParsePooled([]byte(Frame("GPGSA,A,2,01,02,03,,,,,,,,,,9.9,9.9,9.9"))); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{4, 5, 9, 12, 24}; !reflect.DeepEqual(det.PRNs, want) {
+		t.Errorf("detached PRNs corrupted by pool reuse: %v, want %v", det.PRNs, want)
+	}
+}
+
+func TestParsePooledErrors(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want error
+	}{
+		{"", ErrFraming},
+		{"$GPGGA,123519,4807.038,N", ErrFraming},
+		{"$GPGGA,123519,4807.038,N,01131.000,E,1,08,0.9,545.4,M,46.9,M,,*00", ErrChecksum},
+		{Frame("GPZDA,123519,23,03,1994,00,00"), ErrUnknownType},
+	}
+	for _, c := range cases {
+		if _, err := ParsePooled([]byte(c.raw)); !errors.Is(err, c.want) {
+			t.Errorf("ParsePooled(%q) err = %v, want %v", c.raw, err, c.want)
+		}
+	}
+}
+
+// TestFormatRawRoundTrip renders each sentence type into a pooled Raw
+// and parses it back.
+func TestFormatRawRoundTrip(t *testing.T) {
+	for _, raw := range pooledSentences {
+		legacy, err := Parse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r *Raw
+		switch s := legacy.(type) {
+		case GGA:
+			r = FormatRaw(s)
+		case RMC:
+			r = FormatRaw(s)
+		case GSA:
+			r = FormatRaw(s)
+		case GSV:
+			r = FormatRaw(s)
+		}
+		want, err := Format(legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.String(); got != want {
+			t.Errorf("FormatRaw = %q, want %q", got, want)
+		}
+		if det, ok := r.DetachPayload().(string); !ok || det != r.String() {
+			t.Errorf("DetachPayload = %v, want framed string", r.DetachPayload())
+		}
+		back, err := ParsePooled(r.Bytes())
+		if err != nil {
+			t.Fatalf("ParsePooled(FormatRaw(%q)): %v", raw, err)
+		}
+		if got := back.DetachPayload(); !reflect.DeepEqual(got, legacy) {
+			t.Errorf("round trip = %+v, want %+v", got, legacy)
+		}
+		back.Retain()
+		back.Release()
+		r.Retain()
+		r.Release()
+	}
+}
+
+func TestParsedFormat(t *testing.T) {
+	for _, raw := range pooledSentences {
+		p, err := ParsePooled([]byte(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Format(p)
+		if err != nil {
+			t.Fatalf("Format(Parsed %s): %v", p.Type(), err)
+		}
+		want, err := Format(p.DetachPayload().(Sentence))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("Format(pooled) = %q, want %q", got, want)
+		}
+		p.Retain()
+		p.Release()
+	}
+}
+
+// TestReleaseBelowZeroPanics pins the refcount discipline: Release
+// pairs only with Retain, so releasing the floating zero reference —
+// a reference the caller does not own — must fail loudly rather than
+// silently corrupt the pool.
+func TestReleaseBelowZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unowned release")
+		}
+	}()
+	r := FormatRaw(GGA{Quality: FixGPS})
+	r.Release() // never retained -> below zero -> panic
+}
+
+func TestParsedReleaseBelowZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unowned release")
+		}
+	}()
+	p, err := ParsePooled([]byte(ggaSentence))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+}
+
+// TestRetainPinsAcrossRecycling runs retained reads concurrently with a
+// recycle-heavy loop. Under -race this catches any path where pooled
+// storage is handed out while still referenced.
+func TestRetainPinsAcrossRecycling(t *testing.T) {
+	const readers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p, err := ParsePooled([]byte(ggaSentence))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				p.Retain() // simulate a history ring holding on
+				if g := p.GGA(); g.NumSatellites != 8 {
+					t.Errorf("NumSatellites = %d, want 8", g.NumSatellites)
+					p.Release()
+					return
+				}
+				det := p.DetachPayload().(GGA)
+				p.Release() // ring drops -> zero -> recycled
+				if det.HDOP != 0.9 {
+					t.Errorf("detached HDOP = %v, want 0.9", det.HDOP)
+					return
+				}
+			}
+		}()
+	}
+	// Churn the pool from another goroutine so recycled objects
+	// interleave with live readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			r := FormatRaw(RMC{Valid: true, SpeedKn: 1})
+			r.Retain()
+			r.Release()
+		}
+		close(stop)
+	}()
+	wg.Wait()
+}

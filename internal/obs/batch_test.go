@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+
+	"perpos/internal/core"
+)
+
+func TestGraphObserverTapBatchAggregates(t *testing.T) {
+	m := New()
+	o := NewGraphObserver(m, nil)
+
+	if o.NeedsSync("any", core.Sample{}) {
+		t.Error("metrics counters must never demand sync delivery")
+	}
+
+	// A typical burst: a handful of components, repeated emissions.
+	var events []core.TapEvent
+	for i := 0; i < 10; i++ {
+		events = append(events,
+			core.TapEvent{ComponentID: "gps"},
+			core.TapEvent{ComponentID: "parser"},
+		)
+	}
+	events = append(events, core.TapEvent{ComponentID: "interp"})
+	o.TapBatch(events)
+
+	if got := m.SpansEmitted.Value(); got != 21 {
+		t.Errorf("SpansEmitted = %d, want 21", got)
+	}
+	if got := m.Node("gps").Emissions.Value(); got != 10 {
+		t.Errorf("gps emissions = %d, want 10", got)
+	}
+	if got := m.Node("parser").Emissions.Value(); got != 10 {
+		t.Errorf("parser emissions = %d, want 10", got)
+	}
+	if got := m.Node("interp").Emissions.Value(); got != 1 {
+		t.Errorf("interp emissions = %d, want 1", got)
+	}
+}
+
+func TestGraphObserverTapBatchOverflow(t *testing.T) {
+	m := New()
+	o := NewGraphObserver(m, nil)
+
+	// More distinct components than the stack aggregation buffer holds:
+	// the overflow arm counts directly and must lose nothing.
+	var events []core.TapEvent
+	const comps = 12
+	for i := 0; i < comps; i++ {
+		id := fmt.Sprintf("comp-%d", i)
+		events = append(events,
+			core.TapEvent{ComponentID: id},
+			core.TapEvent{ComponentID: id},
+		)
+	}
+	o.TapBatch(events)
+
+	if got := m.SpansEmitted.Value(); got != 2*comps {
+		t.Errorf("SpansEmitted = %d, want %d", got, 2*comps)
+	}
+	total := uint64(0)
+	for i := 0; i < comps; i++ {
+		total += m.Node(fmt.Sprintf("comp-%d", i)).Emissions.Value()
+	}
+	if total != 2*comps {
+		t.Errorf("summed node emissions = %d, want %d", total, 2*comps)
+	}
+}

@@ -141,18 +141,22 @@ type wireSample struct {
 	Payload     json.RawMessage  `json:"payload"`
 }
 
-// encodeSample converts a sample to its frame body.
+// encodeSample converts a sample to its frame body. Pooled payloads
+// are detached first: the wire outlives the pool object's refcount,
+// and codecs only know the detached (plain string / boxed struct)
+// forms.
 func encodeSample(s core.Sample, codecs Codecs) ([]byte, error) {
 	c, ok := codecs[s.Kind]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoCodec, s.Kind)
 	}
+	detached := core.DetachPayload(s.Payload)
 	var payload json.RawMessage
 	var err error
 	if c.Encode != nil {
-		payload, err = c.Encode(s.Payload)
+		payload, err = c.Encode(detached)
 	} else {
-		payload, err = json.Marshal(s.Payload)
+		payload, err = json.Marshal(detached)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("encode %q payload: %w", s.Kind, err)

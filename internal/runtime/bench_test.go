@@ -3,6 +3,7 @@ package runtime
 import (
 	"context"
 	"fmt"
+	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -245,11 +246,14 @@ func saturatedSessionConfig(b *testing.B) SessionConfig {
 			tr := trace.OutdoorTrack(testOrigin, seed, 4, 200, 1.4, time.Second)
 			return []core.InstantiateOption{
 				core.WithComponentOverride("gps", func(cid string) core.Component {
+					// Pooled raw/parsed payloads: the saturated path's
+					// remaining allocs were dominated by per-sentence
+					// string + interface boxing (DESIGN.md §13).
 					return gps.NewReceiver(cid, tr, gps.Config{
 						Seed:      seed,
 						ColdStart: time.Nanosecond,
 						Loop:      true,
-					})
+					}, gps.WithPooledOutput())
 				}),
 			}
 		},
@@ -258,62 +262,85 @@ func saturatedSessionConfig(b *testing.B) SessionConfig {
 	}
 }
 
-// benchSaturated splits b.N source steps across one goroutine per
-// session, each driving its session in StepN batches. The op of
-// allocs/op and ns/op is one source step (≈1 delivered position).
+// benchSaturated splits b.N source steps across a GOMAXPROCS-sized
+// worker pool, each worker driving a contiguous shard of sessions in
+// StepN batches. The op of allocs/op and ns/op is one source step
+// (≈1 delivered position).
+//
+// Two scaling fixes over the goroutine-per-session version: (1) 1000
+// runnable goroutines on a handful of cores spent their time in the
+// scheduler, not the pipeline — a worker per core walking its shard
+// keeps every core on middleware code at any width; (2) the single
+// shared delivery counter was the hottest contended cache line at
+// GOMAXPROCS > 1 — counters are now per-session, padded a cache line
+// apart, written plainly by the one worker driving that session
+// (delivery runs synchronously on the stepping goroutine) and summed
+// after the workers join.
 func benchSaturated(b *testing.B, n int) {
 	const batch = 64
+	// counterStride spaces the per-session counters one 64-byte cache
+	// line apart so neighbouring sessions never false-share.
+	const counterStride = 8
 	m, err := NewManager(saturatedSessionConfig(b))
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer m.Close()
 
-	var delivered atomic.Int64
+	counts := make([]int64, n*counterStride)
 	sessions := make([]*Session, n)
 	for i := range sessions {
 		s, err := m.GetOrCreate(fmt.Sprintf("target-%04d", i))
 		if err != nil {
 			b.Fatal(err)
 		}
-		s.Provider().Subscribe(func(positioning.Position) { delivered.Add(1) })
+		slot := &counts[i*counterStride]
+		s.Provider().Subscribe(func(positioning.Position) { *slot++ })
 		sessions[i] = s
 	}
 
 	per, extra := b.N/n, b.N%n
+	workers := stdruntime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	var wg sync.WaitGroup
-	for i, s := range sessions {
-		steps := per
-		if i < extra {
-			steps++
-		}
-		if steps == 0 {
-			continue
-		}
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
 		wg.Add(1)
-		go func(s *Session, steps int) {
+		go func(lo, hi int) {
 			defer wg.Done()
-			for steps > 0 {
-				k := batch
-				if steps < k {
-					k = steps
+			for i := lo; i < hi; i++ {
+				steps := per
+				if i < extra {
+					steps++
 				}
-				if _, err := s.StepN(k); err != nil {
-					b.Error(err)
-					return
+				for s := sessions[i]; steps > 0; {
+					k := batch
+					if steps < k {
+						k = steps
+					}
+					if _, err := s.StepN(k); err != nil {
+						b.Error(err)
+						return
+					}
+					steps -= k
 				}
-				steps -= k
 			}
-		}(s, steps)
+		}(lo, hi)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	b.StopTimer()
+	var delivered int64
+	for i := 0; i < n; i++ {
+		delivered += counts[i*counterStride]
+	}
 	if sec := elapsed.Seconds(); sec > 0 {
-		b.ReportMetric(float64(delivered.Load())/sec, "samples/s")
+		b.ReportMetric(float64(delivered)/sec, "samples/s")
 	}
 }
 
